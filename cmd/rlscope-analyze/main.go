@@ -1,0 +1,78 @@
+// Command rlscope-analyze performs RL-Scope's offline analysis on a trace
+// directory previously written by rlscope-prof: the cross-stack overlap
+// breakdown per process, with optional overhead correction.
+//
+// Usage:
+//
+//	rlscope-analyze -trace /tmp/trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/overlap"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		dir      = flag.String("trace", "", "trace directory (required)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		phases   = flag.Bool("phases", false, "also print per-phase breakdowns")
+		summary  = flag.Bool("summary", false, "print trace statistics (event counts, top kernels)")
+		timeline = flag.Bool("timeline", false, "render an ASCII timeline of process 0")
+		tree     = flag.Bool("tree", false, "render the multi-process fork tree (Figure 8 style)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "rlscope-analyze: -trace is required")
+		os.Exit(2)
+	}
+	tr, err := trace.ReadDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rlscope-analyze: %s (%d events, flags %s)\n",
+		tr.Meta.Workload, len(tr.Events), tr.Meta.Config)
+
+	if *summary {
+		fmt.Print(trace.Summarize(tr))
+		fmt.Println()
+	}
+	if *timeline {
+		start, end := tr.Span()
+		fmt.Print(report.Timeline(tr.ProcEvents(0), start, end, 100))
+		fmt.Println()
+	}
+
+	results := overlap.ComputeTrace(tr)
+	if *tree {
+		fmt.Print(report.ProcessTree(tr, results))
+		fmt.Println()
+	}
+	var rows []*report.Breakdown
+	for _, p := range tr.ProcIDs() {
+		res := results[p]
+		label := tr.Meta.Procs[p].Name
+		if label == "" {
+			label = fmt.Sprintf("proc%d", p)
+		}
+		rows = append(rows, report.FromResult(label, res, report.SortedOps(res)))
+	}
+	if *csv {
+		fmt.Print(report.CSV(rows))
+		return
+	}
+	fmt.Print(report.Table("RL-Scope time breakdown: "+tr.Meta.Workload, rows))
+	if *phases {
+		names := map[trace.ProcID]string{}
+		for p, info := range tr.Meta.Procs {
+			names[p] = info.Name
+		}
+		fmt.Print(report.PhaseTable("Training phases", overlap.PhasesByProc(tr), names))
+	}
+}

@@ -1,0 +1,126 @@
+// Command rlscope-experiments regenerates the paper's tables and figures
+// (see DESIGN.md's per-experiment index) and prints them as text tables.
+//
+// Usage:
+//
+//	rlscope-experiments -run all
+//	rlscope-experiments -run fig4,fig5 -steps 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var order = []string{
+	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "fig11", "c4", "scaling",
+}
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment ids: "+strings.Join(order, ","))
+		steps = flag.Int("steps", 0, "environment-step budget per workload (0 = per-figure default)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, id := range order {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	opts := experiments.Options{Steps: *steps, Seed: *seed}
+
+	for _, id := range order {
+		if !want[id] {
+			continue
+		}
+		delete(want, id)
+		if err := runOne(id, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "rlscope-experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+	for id := range want {
+		fmt.Fprintf(os.Stderr, "rlscope-experiments: unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, opts experiments.Options) error {
+	switch id {
+	case "table1":
+		fmt.Println(experiments.RenderTable1())
+	case "fig3":
+		fmt.Println(experiments.Figure3().Render())
+	case "fig4":
+		r, err := experiments.Figure4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig5":
+		r, err := experiments.Figure5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig6":
+		fmt.Println(experiments.RenderFigure6())
+	case "fig7":
+		r, err := experiments.Figure7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig8":
+		r, err := experiments.Figure8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig9":
+		r, err := experiments.Figure9(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig10":
+		r, err := experiments.Figure10(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig11":
+		r, err := experiments.Figure11(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "c4":
+		r, err := experiments.AppendixC4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "scaling":
+		r, err := experiments.Figure8Scaling(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	default:
+		return fmt.Errorf("unknown experiment id")
+	}
+	return nil
+}

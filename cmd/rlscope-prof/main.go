@@ -1,0 +1,108 @@
+// Command rlscope-prof is the rls-prof analogue: it runs one RL training
+// workload under the profiler, writes the event trace to disk, analyzes it,
+// and prints the cross-stack time breakdown.
+//
+// Usage:
+//
+//	rlscope-prof -algo TD3 -env Walker2D -framework graph -steps 2000 -out /tmp/trace
+//
+// Frameworks: graph (stable-baselines), autograph (tf-agents),
+// eager-tf (tf-agents eager), eager-pytorch (ReAgent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/calib"
+	"repro/internal/overlap"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func parseModel(s string) (backend.ExecModel, error) {
+	switch strings.ToLower(s) {
+	case "graph":
+		return backend.Graph, nil
+	case "autograph":
+		return backend.Autograph, nil
+	case "eager-tf", "eager":
+		return backend.EagerTF, nil
+	case "eager-pytorch", "pytorch":
+		return backend.EagerPyTorch, nil
+	default:
+		return 0, fmt.Errorf("unknown framework %q (graph|autograph|eager-tf|eager-pytorch)", s)
+	}
+}
+
+func main() {
+	var (
+		algo      = flag.String("algo", "TD3", "RL algorithm: "+strings.Join(workloads.AlgorithmNames, "|"))
+		env       = flag.String("env", "Walker2D", "simulator: AirLearning|Ant|HalfCheetah|Hopper|Pong|Walker2D")
+		framework = flag.String("framework", "graph", "execution model / RL framework")
+		steps     = flag.Int("steps", 2000, "environment steps to train for")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "trace output directory (omit to skip writing)")
+		instrOff  = flag.Bool("uninstrumented", false, "disable all profiler book-keeping")
+		csv       = flag.Bool("csv", false, "emit the breakdown as CSV instead of a table")
+		validate  = flag.Bool("validate", false, "calibrate, then validate overhead correction on this workload")
+	)
+	flag.Parse()
+
+	model, err := parseModel(*framework)
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		spec := workloads.Spec{Algo: *algo, Env: *env, Model: model, TotalSteps: *steps}
+		fmt.Fprintf(os.Stderr, "rlscope-prof: calibrating and validating %s (7 runs)\n", spec.Name())
+		v, err := calib.Validate(spec.Name(), workloads.Runner(spec), *seed, *seed+1000)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(v)
+		return
+	}
+	flags := trace.Full()
+	if *instrOff {
+		flags = trace.Uninstrumented()
+	}
+	spec := workloads.Spec{
+		Algo: *algo, Env: *env, Model: model, TotalSteps: *steps, Seed: *seed,
+	}
+	fmt.Fprintf(os.Stderr, "rlscope-prof: running %s (%d steps, %s)\n", spec.Name(), *steps, flags)
+	stats, err := workloads.Run(spec, flags)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		w, err := trace.NewWriter(*out, 0)
+		if err != nil {
+			fatal(err)
+		}
+		w.Append(stats.Trace.Events...)
+		if err := w.Close(stats.Trace.Meta); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rlscope-prof: wrote %d events to %s\n", len(stats.Trace.Events), *out)
+	}
+	res := overlap.Compute(stats.Trace.ProcEvents(0))
+	b := report.FromResult(spec.Name(), res, report.SortedOps(res))
+	if *csv {
+		fmt.Print(report.CSV([]*report.Breakdown{b}))
+		return
+	}
+	fmt.Print(report.Table("RL-Scope time breakdown", []*report.Breakdown{b}))
+	fmt.Print(report.TransitionTable("Language transitions",
+		report.Transitions(spec.Name(), res, report.SortedOps(res))))
+	fmt.Printf("total training time: %v\n", stats.Total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlscope-prof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Framework comparison: the paper's §4.1 case study in miniature.
+//
+// Trains the same TD3 agent on the same Walker2D simulator with identical
+// hyperparameters under all four ⟨execution model, ML backend⟩
+// configurations of Table 1, and prints the time breakdowns and language
+// transition counts that explain their performance gaps (Figures 4a/4c).
+//
+//	go run ./examples/framework_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/backend"
+	"repro/internal/overlap"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	models := []backend.ExecModel{
+		backend.EagerPyTorch, backend.Autograph, backend.EagerTF, backend.Graph,
+	}
+	var rows []*report.Breakdown
+	var trows []report.TransitionRow
+	ops := []string{
+		workloads.OpBackpropagation, workloads.OpInference, workloads.OpSimulation,
+	}
+	for _, model := range models {
+		spec := workloads.Spec{
+			Algo: "TD3", Env: "Walker2D", Model: model,
+			TotalSteps: 1000, Seed: 1,
+		}
+		stats, err := workloads.Run(spec, trace.Uninstrumented())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := overlap.Compute(stats.Trace.ProcEvents(0))
+		rows = append(rows, report.FromResult(model.String(), res, ops))
+		trows = append(trows, report.Transitions(model.String(), res, ops)...)
+		fmt.Printf("%-22s total %v\n", model, stats.Total)
+	}
+	fmt.Println()
+	fmt.Print(report.Table("(TD3, Walker2D) time breakdown by framework", rows))
+	fmt.Print(report.TransitionTable("(TD3, Walker2D) language transitions", trows))
+	fmt.Println("Findings to look for (paper §4.1): Eager runs 1.9–4.8x slower than")
+	fmt.Println("Graph/Autograph; transition counts, not GPU time, explain the gaps.")
+}

@@ -1,0 +1,74 @@
+// Quickstart: profile a hand-written training loop with RL-Scope.
+//
+// This example shows the core public API — annotate high-level operations,
+// let the interception wrappers record simulator/backend/CUDA activity,
+// then run the cross-stack overlap analysis and print where the time went.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rlscope "repro"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/report"
+	"repro/internal/vclock"
+)
+
+func main() {
+	p := rlscope.New(rlscope.Options{
+		Workload: "quickstart",
+		Flags:    rlscope.FullInstrumentation(),
+		Seed:     1,
+	})
+	dev := gpu.NewDevice(-1)
+	sess := p.NewProcess("trainer", -1, 0)
+	ctx := cuda.NewContext(sess, dev, cuda.DefaultCosts())
+
+	sess.SetPhase("training")
+	for step := 0; step < 100; step++ {
+		// Inference: a small forward pass on the (simulated) GPU.
+		sess.WithOperation("inference", func() {
+			sess.CallBackend("policy.forward", func() {
+				for k := 0; k < 3; k++ {
+					ctx.LaunchKernel("dense", 3*vclock.Microsecond)
+				}
+				ctx.StreamSynchronize()
+			})
+		})
+		// Simulation: CPU-bound work inside the simulator library.
+		sess.WithOperation("simulation", func() {
+			sess.CallSimulator("env.step", func() {
+				sess.Clock().Advance(120 * vclock.Microsecond)
+			})
+		})
+		// Backpropagation every 4 steps.
+		if step%4 == 3 {
+			sess.WithOperation("backpropagation", func() {
+				sess.Python(vclock.Exact(120 * vclock.Microsecond)) // minibatch assembly
+				sess.CallBackend("train_step", func() {
+					ctx.MemcpyAsync(cuda.HostToDevice, 64*1024)
+					for k := 0; k < 9; k++ {
+						ctx.LaunchKernel("dense_grad", 5*vclock.Microsecond)
+					}
+					ctx.StreamSynchronize()
+				})
+			})
+		}
+	}
+	sess.Close()
+
+	tr, err := p.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rlscope.AnalyzeProcess(tr, sess.Proc())
+	b := report.FromResult("quickstart", res, report.SortedOps(res))
+	fmt.Print(report.Table("RL-Scope quickstart breakdown", []*report.Breakdown{b}))
+	fmt.Printf("\ntotal: %v, GPU-bound: %v (%.1f%%)\n",
+		res.Total(), res.TotalGPUTime(),
+		100*res.TotalGPUTime().Seconds()/res.Total().Seconds())
+}

@@ -1,0 +1,253 @@
+// Package calib implements RL-Scope's profiling-overhead calibration and
+// correction (paper §3.4 and Appendix C).
+//
+// Profilers inflate CPU-side time with book-keeping code on the critical
+// path — the paper observes up to 90.2% inflation, and up to 1.9× total
+// training-time inflation for RL workloads. RL-Scope calibrates the average
+// duration of each book-keeping code path by re-running the workload under
+// different feature subsets, then — during offline analysis — subtracts that
+// time at the precise points where book-keeping occurred.
+//
+// Two calibration strategies are needed:
+//
+//   - Delta calibration (Appendix C.1): for book-keeping whose cost does not
+//     depend on call context (annotation recording, Python↔C interception,
+//     the CUDA API hook), mean cost = Δ(total runtime with feature on vs
+//     off) / (occurrence count).
+//   - Difference-of-average calibration (Appendix C.2): CUPTI inflation
+//     happens inside the closed-source CUDA library and differs per API, and
+//     cannot be toggled per API. So we measure the mean duration of each
+//     CUDA API with and without CUPTI enabled; the per-API difference of
+//     those averages is the per-call overhead.
+package calib
+
+import (
+	"fmt"
+
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// RunStats is what one profiled (or unprofiled) run exposes to calibration:
+// exactly the information the real system could obtain (total runtime,
+// book-keeping occurrence counts, per-CUDA-API durations measured under
+// interception), plus the trace for downstream analysis.
+type RunStats struct {
+	// Flags is the feature subset the run used.
+	Flags trace.FeatureFlags
+	// Total is the run's total training time.
+	Total vclock.Duration
+	// OverheadCounts is occurrences per book-keeping kind.
+	OverheadCounts map[trace.OverheadKind]int
+	// APICount and APIDur give per-CUDA-API call counts and total
+	// CPU-side durations (only meaningful when CUDAIntercept was on).
+	APICount map[string]int
+	APIDur   map[string]vclock.Duration
+	// Trace is the collected event trace.
+	Trace *trace.Trace
+}
+
+// APIMean returns the mean duration of one CUDA API in this run.
+func (r *RunStats) APIMean(api string) vclock.Duration {
+	n := r.APICount[api]
+	if n == 0 {
+		return 0
+	}
+	return r.APIDur[api] / vclock.Duration(n)
+}
+
+// StatsFromTrace derives RunStats from a collected trace plus the profiler's
+// occurrence counters.
+func StatsFromTrace(t *trace.Trace, flags trace.FeatureFlags, counts map[trace.OverheadKind]int, total vclock.Duration) *RunStats {
+	rs := &RunStats{
+		Flags:          flags,
+		Total:          total,
+		OverheadCounts: counts,
+		APICount:       map[string]int{},
+		APIDur:         map[string]vclock.Duration{},
+		Trace:          t,
+	}
+	for _, e := range t.Events {
+		if e.Kind == trace.KindCPU && e.Cat == trace.CatCUDA {
+			rs.APICount[e.Name]++
+			rs.APIDur[e.Name] += e.Duration()
+		}
+	}
+	return rs
+}
+
+// Runner executes the workload once under the given feature flags with the
+// given seed and returns its stats. Calibration assumes the workload is
+// deterministic for a fixed seed (the paper's assumption, Appendix C.1).
+type Runner func(flags trace.FeatureFlags, seed int64) (*RunStats, error)
+
+// Calibration holds the estimated mean cost of each book-keeping path.
+// It is the reusable artifact the paper describes: "calibration only needs
+// to be done once per workload and can be reused in future profiling runs".
+type Calibration struct {
+	// Annotation, Interception and CUDAIntercept are mean costs per
+	// occurrence, from delta calibration.
+	Annotation    vclock.Duration
+	Interception  vclock.Duration
+	CUDAIntercept vclock.Duration
+	// CUPTI is the per-API mean inflation, from difference-of-average
+	// calibration.
+	CUPTI map[string]vclock.Duration
+}
+
+// MeanFor returns the calibrated mean for one overhead marker.
+func (c *Calibration) MeanFor(kind trace.OverheadKind, name string) vclock.Duration {
+	switch kind {
+	case trace.OverheadAnnotation:
+		return c.Annotation
+	case trace.OverheadInterception:
+		return c.Interception
+	case trace.OverheadCUDAIntercept:
+		return c.CUDAIntercept
+	case trace.OverheadCUPTI:
+		return c.CUPTI[name]
+	default:
+		return 0
+	}
+}
+
+// Calibrate runs the delta-calibration ladder plus the difference-of-average
+// CUPTI pass. It performs five runs of the workload:
+//
+//	base (uninstrumented), +annotations, +interception, +CUDA hook,
+//	and +CUDA hook+CUPTI.
+func Calibrate(run Runner, seed int64) (*Calibration, error) {
+	base, err := run(trace.Uninstrumented(), seed)
+	if err != nil {
+		return nil, fmt.Errorf("calib: base run: %w", err)
+	}
+	cal := &Calibration{CUPTI: map[string]vclock.Duration{}}
+
+	cal.Annotation, err = delta(run, base, trace.FeatureFlags{Annotations: true}, trace.OverheadAnnotation, seed)
+	if err != nil {
+		return nil, err
+	}
+	cal.Interception, err = delta(run, base, trace.FeatureFlags{Interception: true}, trace.OverheadInterception, seed)
+	if err != nil {
+		return nil, err
+	}
+	cal.CUDAIntercept, err = delta(run, base, trace.FeatureFlags{CUDAIntercept: true}, trace.OverheadCUDAIntercept, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Difference-of-average for CUPTI: both runs need the CUDA hook on so
+	// per-API durations are observable; the hook cost itself cancels in
+	// the difference.
+	hookOnly, err := run(trace.FeatureFlags{CUDAIntercept: true}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("calib: CUPTI baseline run: %w", err)
+	}
+	withCUPTI, err := run(trace.FeatureFlags{CUDAIntercept: true, CUPTI: true}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("calib: CUPTI run: %w", err)
+	}
+	for api := range withCUPTI.APICount {
+		d := withCUPTI.APIMean(api) - hookOnly.APIMean(api)
+		if d < 0 {
+			d = 0
+		}
+		cal.CUPTI[api] = d
+	}
+	return cal, nil
+}
+
+// delta measures one feature's mean book-keeping cost: Δ total runtime
+// divided by occurrence count (Figure 9).
+func delta(run Runner, base *RunStats, flags trace.FeatureFlags, kind trace.OverheadKind, seed int64) (vclock.Duration, error) {
+	on, err := run(flags, seed)
+	if err != nil {
+		return 0, fmt.Errorf("calib: %v run: %w", kind, err)
+	}
+	count := on.OverheadCounts[kind]
+	if count == 0 {
+		return 0, nil
+	}
+	d := on.Total - base.Total
+	if d < 0 {
+		d = 0
+	}
+	return d / vclock.Duration(count), nil
+}
+
+// CalibrateN runs Calibrate reps times with distinct seeds and averages the
+// estimates — the paper notes calibration "only needs to be done once per
+// workload and can be reused", and averaging over repetitions reduces the
+// variance of each mean estimate on jittery workloads.
+func CalibrateN(run Runner, seed int64, reps int) (*Calibration, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("calib: CalibrateN needs reps > 0")
+	}
+	sum := &Calibration{CUPTI: map[string]vclock.Duration{}}
+	for r := 0; r < reps; r++ {
+		cal, err := Calibrate(run, seed+int64(r)*7717)
+		if err != nil {
+			return nil, fmt.Errorf("calib: rep %d: %w", r, err)
+		}
+		sum.Annotation += cal.Annotation
+		sum.Interception += cal.Interception
+		sum.CUDAIntercept += cal.CUDAIntercept
+		for api, d := range cal.CUPTI {
+			sum.CUPTI[api] += d
+		}
+	}
+	n := vclock.Duration(reps)
+	sum.Annotation /= n
+	sum.Interception /= n
+	sum.CUDAIntercept /= n
+	for api := range sum.CUPTI {
+		sum.CUPTI[api] /= n
+	}
+	return sum, nil
+}
+
+// EstimatedOverhead returns the total overhead a corrected analysis will
+// subtract from a run, split by marker kind and name — the stacked overhead
+// components of Figure 11.
+func EstimatedOverhead(t *trace.Trace, cal *Calibration) map[OverheadComponent]vclock.Duration {
+	out := map[OverheadComponent]vclock.Duration{}
+	for _, e := range t.Events {
+		if e.Kind != trace.KindOverhead {
+			continue
+		}
+		c := OverheadComponent{Kind: e.Overhead}
+		if e.Overhead == trace.OverheadInterception || e.Overhead == trace.OverheadCUPTI {
+			c.Name = e.Name
+		}
+		out[c] += cal.MeanFor(e.Overhead, e.Name)
+	}
+	return out
+}
+
+// OverheadComponent labels one stack of Figure 11's overhead breakdown.
+type OverheadComponent struct {
+	Kind trace.OverheadKind
+	Name string // transition label or API name where it matters
+}
+
+// String returns the legend label.
+func (c OverheadComponent) String() string {
+	if c.Name == "" {
+		return c.Kind.String()
+	}
+	return fmt.Sprintf("%v (%s)", c.Kind, c.Name)
+}
+
+// CorrectedTotal computes the total training time of a (corrected) trace:
+// the longest root-process CPU extent.
+func CorrectedTotal(t *trace.Trace) vclock.Duration {
+	var total vclock.Duration
+	for _, p := range t.ProcIDs() {
+		res := overlap.Compute(t.ProcEvents(p))
+		if d := vclock.Duration(res.SpanEnd - res.SpanStart); d > total {
+			total = d
+		}
+	}
+	return total
+}

@@ -1,0 +1,35 @@
+package calib
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/vclock"
+)
+
+// PCSampleEstimate models the CUPTI PC-Sampling strategy the paper rejected
+// (Appendix A.2): sample the device program counter at a fixed period and
+// estimate GPU-busy time as (#samples that landed in a kernel) × period.
+//
+// The paper lists three problems with sampling profilers; the one this
+// function demonstrates is lost accuracy on short kernels. RL kernels
+// frequently run for less than the sample period, so a sampler either
+// misses them entirely (underestimating GPU time) or charges a whole period
+// to a kernel that ran for a fraction of it (overestimating). Tests compare
+// this estimate against the exact busy union to show why RL-Scope records
+// complete start/end timestamps instead.
+func PCSampleEstimate(busy []gpu.Busy, start, end vclock.Time, period vclock.Duration) vclock.Duration {
+	if period <= 0 || end <= start {
+		return 0
+	}
+	union := gpu.Union(busy)
+	var est vclock.Duration
+	i := 0
+	for t := start; t < end; t = t.Add(period) {
+		for i < len(union) && union[i].End <= t {
+			i++
+		}
+		if i < len(union) && union[i].Start <= t && t < union[i].End {
+			est += period
+		}
+	}
+	return est
+}

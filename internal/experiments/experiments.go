@@ -1,0 +1,82 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each harness runs the
+// relevant workloads, computes RL-Scope's cross-stack analysis, and returns
+// both structured results (asserted by findings_test.go) and text renderings
+// (printed by cmd/rlscope-experiments).
+//
+// Figure-generating harnesses run workloads uninstrumented: in this
+// simulation an uninstrumented trace is exactly what a perfectly corrected
+// instrumented trace estimates, so the figures show ground truth while the
+// calibration experiments (Figures 9–11, Appendix C.4) exercise the
+// correction machinery itself.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/calib"
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Options controls experiment scale. Zero values select per-figure defaults
+// sized for the benchmark harness; tests use smaller step counts.
+type Options struct {
+	// Steps is the environment-step budget per workload.
+	Steps int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) steps(def int) int {
+	if o.Steps > 0 {
+		return o.Steps
+	}
+	return def
+}
+
+// runUninstrumented executes a workload spec and returns its overlap
+// analysis and stats.
+func runUninstrumented(spec workloads.Spec) (*overlap.Result, *calib.RunStats, error) {
+	stats, err := workloads.Run(spec, trace.Uninstrumented())
+	if err != nil {
+		return nil, nil, err
+	}
+	return overlap.Compute(stats.Trace.ProcEvents(0)), stats, nil
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Framework string
+	ExecModel string
+	Backend   string
+}
+
+// Table1 reproduces Table 1: the ⟨execution model, ML backend⟩ matrix.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, m := range []backend.ExecModel{
+		backend.Graph, backend.Autograph, backend.EagerTF, backend.EagerPyTorch,
+	} {
+		rows = append(rows, Table1Row{
+			Framework: m.Framework(),
+			ExecModel: strings.TrimPrefix(strings.TrimPrefix(m.String(), "TensorFlow "), "PyTorch "),
+			Backend:   m.BackendName(),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 renders Table 1 as text.
+func RenderTable1() string {
+	var sb strings.Builder
+	sb.WriteString("== Table 1: RL frameworks (execution model × ML backend) ==\n")
+	fmt.Fprintf(&sb, "%-18s %-12s %-18s\n", "RL framework", "Exec model", "ML backend")
+	for _, r := range Table1() {
+		fmt.Fprintf(&sb, "%-18s %-12s %-18s\n", r.Framework, r.ExecModel, r.Backend)
+	}
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/overlap"
+	"repro/internal/report"
+	"repro/internal/vclock"
+	"repro/internal/workloads"
+)
+
+// Figure4Entry is one framework configuration's profile (one bar group of
+// Figures 4a–4d).
+type Figure4Entry struct {
+	Algo  string
+	Model backend.ExecModel
+	Res   *overlap.Result
+	Total vclock.Duration
+}
+
+// Figure4Result holds the full framework-comparison study.
+type Figure4Result struct {
+	TD3  []Figure4Entry // Figure 4a/4c: 4 configurations
+	DDPG []Figure4Entry // Figure 4b/4d: 3 configurations (no ReAgent DDPG, as in the paper)
+}
+
+// td3Models lists Figure 4a's configurations in the paper's order.
+var td3Models = []backend.ExecModel{
+	backend.EagerPyTorch, backend.Autograph, backend.EagerTF, backend.Graph,
+}
+
+// ddpgModels lists Figure 4b's configurations.
+var ddpgModels = []backend.ExecModel{
+	backend.Autograph, backend.EagerTF, backend.Graph,
+}
+
+// Figure4 runs the framework comparison: identical algorithm (TD3/DDPG),
+// simulator (Walker2D), and hyperparameters; only the RL framework's
+// execution model and backend differ (paper §4.1).
+func Figure4(opts Options) (*Figure4Result, error) {
+	steps := opts.steps(2000)
+	out := &Figure4Result{}
+	run := func(algo string, model backend.ExecModel) (Figure4Entry, error) {
+		res, stats, err := runUninstrumented(workloads.Spec{
+			Algo: algo, Env: "Walker2D", Model: model,
+			TotalSteps: steps, Seed: opts.Seed + 1,
+		})
+		if err != nil {
+			return Figure4Entry{}, err
+		}
+		return Figure4Entry{Algo: algo, Model: model, Res: res, Total: stats.Total}, nil
+	}
+	for _, m := range td3Models {
+		e, err := run("TD3", m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 4a %v: %w", m, err)
+		}
+		out.TD3 = append(out.TD3, e)
+	}
+	for _, m := range ddpgModels {
+		e, err := run("DDPG", m)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 4b %v: %w", m, err)
+		}
+		out.DDPG = append(out.DDPG, e)
+	}
+	return out, nil
+}
+
+// Entry returns the named configuration, or nil.
+func (r *Figure4Result) Entry(algo string, model backend.ExecModel) *Figure4Entry {
+	list := r.TD3
+	if algo == "DDPG" {
+		list = r.DDPG
+	}
+	for i := range list {
+		if list[i].Model == model {
+			return &list[i]
+		}
+	}
+	return nil
+}
+
+// Render renders Figures 4a–4d as text tables.
+func (r *Figure4Result) Render() string {
+	var sb strings.Builder
+	section := func(title string, entries []Figure4Entry) {
+		var rows []*report.Breakdown
+		var trows []report.TransitionRow
+		for _, e := range entries {
+			label := e.Model.String()
+			ops := []string{
+				workloads.OpBackpropagation, workloads.OpInference, workloads.OpSimulation,
+			}
+			rows = append(rows, report.FromResult(label, e.Res, ops))
+			trows = append(trows, report.Transitions(label, e.Res, ops)...)
+		}
+		sb.WriteString(report.Table(title+" — time breakdown", rows))
+		sb.WriteString(report.TransitionTable(title+" — language transitions", trows))
+	}
+	section("Figure 4a/4c: (TD3, Walker2D)", r.TD3)
+	section("Figure 4b/4d: (DDPG, Walker2D)", r.DDPG)
+	return sb.String()
+}
+
+// Figure5Result holds the RL-algorithm survey (Figure 5).
+type Figure5Result struct {
+	Entries []Figure4Entry // reuses the entry shape; Model is Graph for all
+}
+
+// figure5Algos lists the surveyed algorithms in the paper's order with
+// their on/off-policy grouping.
+var figure5Algos = []struct {
+	Name     string
+	OnPolicy bool
+}{
+	{"DDPG", false}, {"SAC", false}, {"A2C", true}, {"PPO2", true},
+}
+
+// Figure5 runs the algorithm survey: four algorithms on Walker2D under the
+// stable-baselines (Graph) framework (paper §4.2).
+func Figure5(opts Options) (*Figure5Result, error) {
+	steps := opts.steps(2000)
+	out := &Figure5Result{}
+	for _, a := range figure5Algos {
+		res, stats, err := runUninstrumented(workloads.Spec{
+			Algo: a.Name, Env: "Walker2D", Model: backend.Graph,
+			TotalSteps: steps, Seed: opts.Seed + 2,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 5 %s: %w", a.Name, err)
+		}
+		out.Entries = append(out.Entries, Figure4Entry{
+			Algo: a.Name, Model: backend.Graph, Res: res, Total: stats.Total,
+		})
+	}
+	return out, nil
+}
+
+// Entry returns the named algorithm's profile, or nil.
+func (r *Figure5Result) Entry(algo string) *Figure4Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Algo == algo {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// SimulationFraction returns simulation time / total time for one entry.
+func (e *Figure4Entry) SimulationFraction() float64 {
+	if e.Res.Total() == 0 {
+		return 0
+	}
+	return e.Res.OpTotal(workloads.OpSimulation).Seconds() / e.Res.Total().Seconds()
+}
+
+// GPUFraction returns device-busy time / total time.
+func (e *Figure4Entry) GPUFraction() float64 {
+	if e.Res.Total() == 0 {
+		return 0
+	}
+	return e.Res.TotalGPUTime().Seconds() / e.Res.Total().Seconds()
+}
+
+// Render renders Figure 5.
+func (r *Figure5Result) Render() string {
+	var rows []*report.Breakdown
+	for _, e := range r.Entries {
+		kind := "Off-policy"
+		for _, a := range figure5Algos {
+			if a.Name == e.Algo && a.OnPolicy {
+				kind = "On-policy"
+			}
+		}
+		rows = append(rows, report.FromResult(
+			fmt.Sprintf("%s (%s)", e.Algo, kind), e.Res,
+			[]string{workloads.OpBackpropagation, workloads.OpInference, workloads.OpSimulation}))
+	}
+	return report.Table("Figure 5: algorithm choice (Walker2D, stable-baselines)", rows)
+}

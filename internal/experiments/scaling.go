@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minigo"
+	"repro/internal/nvsmi"
+	"repro/internal/vclock"
+)
+
+// ScalingPoint is one worker-count configuration of the scale-up extension
+// study.
+type ScalingPoint struct {
+	Workers int
+	// SampledUtil is the nvidia-smi-style reading; TrueUtil the honest
+	// duty cycle; WorkerGPUFrac the per-worker GPU share of runtime.
+	SampledUtil, TrueUtil, WorkerGPUFrac float64
+	// Span is the self-play phase extent.
+	Span vclock.Duration
+}
+
+// ScalingResult holds the Minigo worker-scaling sweep.
+type ScalingResult struct {
+	Points []ScalingPoint
+}
+
+// Figure8Scaling extends the paper's scale-up case study along the axis its
+// F.11 discussion names: "Scaling-up by running more workers can exacerbate
+// this issue." It sweeps the self-play pool size and reports how sampled
+// utilization saturates toward 100% while per-worker GPU usage stays flat —
+// i.e. adding workers inflates the *metric* without making any worker more
+// GPU-bound.
+func Figure8Scaling(opts Options) (*ScalingResult, error) {
+	out := &ScalingResult{}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		cfg := minigo.DefaultConfig()
+		cfg.Seed = opts.Seed + 6
+		cfg.Workers = workers
+		cfg.MaxMovesPerGame = 20
+		cfg.SimsPerMove = 16
+		res, err := minigo.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 8 scaling (%d workers): %w", workers, err)
+		}
+		period := vclock.Duration(res.SpanEnd-res.SpanStart) / 40
+		rep := nvsmi.Sample(res.Busy, res.SpanStart, res.SpanEnd, period)
+		var gpuFrac float64
+		n := 0
+		for proc, total := range res.WorkerTotal {
+			if total > 0 {
+				gpuFrac += res.WorkerGPU[proc].Seconds() / total.Seconds()
+				n++
+			}
+		}
+		if n > 0 {
+			gpuFrac /= float64(n)
+		}
+		out.Points = append(out.Points, ScalingPoint{
+			Workers:       workers,
+			SampledUtil:   rep.Utilization(),
+			TrueUtil:      rep.TrueUtilization(),
+			WorkerGPUFrac: gpuFrac,
+			Span:          vclock.Duration(res.SpanEnd - res.SpanStart),
+		})
+	}
+	return out, nil
+}
+
+// Point returns the entry for one worker count, or nil.
+func (r *ScalingResult) Point(workers int) *ScalingPoint {
+	for i := range r.Points {
+		if r.Points[i].Workers == workers {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Render renders the scaling sweep.
+func (r *ScalingResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("== Extension: Minigo self-play pool scaling (paper F.11's \"scaling-up exacerbates this issue\") ==\n")
+	fmt.Fprintf(&sb, "%-9s %-14s %-12s %-12s %s\n",
+		"workers", "nvidia-smi", "true util", "GPU/worker", "selfplay span")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&sb, "%-9d %-14s %-12s %-12s %v\n",
+			pt.Workers,
+			fmt.Sprintf("%.0f%%", 100*pt.SampledUtil),
+			fmt.Sprintf("%.2f%%", 100*pt.TrueUtil),
+			fmt.Sprintf("%.2f%%", 100*pt.WorkerGPUFrac),
+			pt.Span)
+	}
+	sb.WriteString("sampled utilization saturates with pool size while no worker gets more GPU-bound\n")
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation uint8
+
+// Activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", uint8(a))
+	}
+}
+
+// Apply computes the activation element-wise into a fresh tensor.
+func (a Activation) Apply(x *Tensor) *Tensor {
+	out := x.Clone()
+	switch a {
+	case Identity:
+	case ReLU:
+		for i, v := range out.Data {
+			if v < 0 {
+				out.Data[i] = 0
+			}
+		}
+	case Tanh:
+		for i, v := range out.Data {
+			out.Data[i] = math.Tanh(v)
+		}
+	}
+	return out
+}
+
+// Grad computes d(activation)/d(pre-activation) given the activation output
+// y, multiplied element-wise into dY (returned as a fresh tensor).
+func (a Activation) Grad(dY, y *Tensor) *Tensor {
+	out := dY.Clone()
+	switch a {
+	case Identity:
+	case ReLU:
+		for i := range out.Data {
+			if y.Data[i] <= 0 {
+				out.Data[i] = 0
+			}
+		}
+	case Tanh:
+		for i := range out.Data {
+			out.Data[i] *= 1 - y.Data[i]*y.Data[i]
+		}
+	}
+	return out
+}
+
+// Param is one trainable parameter tensor with its gradient and optimizer
+// state.
+type Param struct {
+	Name  string
+	Value *Tensor
+	Grad  *Tensor
+	// Adam moments, allocated lazily by the optimizer.
+	M, V *Tensor
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Dense is a fully connected layer: y = act(x @ W + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W, B    *Param
+
+	// Forward caches for backprop.
+	lastX *Tensor // input
+	lastY *Tensor // post-activation output
+}
+
+// NewDense builds a Glorot-initialized dense layer.
+func NewDense(rng *rand.Rand, in, out int, act Activation, name string) *Dense {
+	w := NewTensor(in, out)
+	w.XavierInit(rng, in, out)
+	return &Dense{
+		In: in, Out: out, Act: act,
+		W: &Param{Name: name + ".W", Value: w, Grad: NewTensor(in, out)},
+		B: &Param{Name: name + ".b", Value: NewTensor(1, out), Grad: NewTensor(1, out)},
+	}
+}
+
+// Forward computes the layer output for a batch x of shape [n, In].
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	d.lastX = x
+	z := MatMul(x, d.W.Value)
+	AddBias(z, d.B.Value)
+	d.lastY = d.Act.Apply(z)
+	return d.lastY
+}
+
+// Backward consumes dL/dy and returns dL/dx, accumulating into W.Grad and
+// B.Grad. Forward must have been called first.
+func (d *Dense) Backward(dY *Tensor) *Tensor {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	dZ := d.Act.Grad(dY, d.lastY)
+	d.W.Grad.AddScaled(MatMulT1(d.lastX, dZ), 1)
+	for i := 0; i < dZ.Rows; i++ {
+		row := dZ.Row(i)
+		for j, v := range row {
+			d.B.Grad.Data[j] += v
+		}
+	}
+	return MatMulT2(dZ, d.W.Value)
+}
+
+// MLP is a stack of dense layers — the network shape every RL algorithm in
+// the paper's survey uses (e.g. stable-baselines' default two hidden
+// layers).
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes; hidden layers use act,
+// the output layer uses outAct.
+func NewMLP(rng *rand.Rand, sizes []int, act, outAct Activation, name string) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		a := act
+		if i+2 == len(sizes) {
+			a = outAct
+		}
+		m.Layers = append(m.Layers, NewDense(rng, sizes[i], sizes[i+1], a,
+			fmt.Sprintf("%s.l%d", name, i)))
+	}
+	return m
+}
+
+// Forward runs the full network.
+func (m *MLP) Forward(x *Tensor) *Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dL/d(output) through every layer, accumulating
+// parameter gradients, and returns dL/d(input).
+func (m *MLP) Backward(dOut *Tensor) *Tensor {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dOut = m.Layers[i].Backward(dOut)
+	}
+	return dOut
+}
+
+// Params returns all trainable parameters in layer order.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.W, l.B)
+	}
+	return ps
+}
+
+// ZeroGrad clears all gradients.
+func (m *MLP) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CopyTo copies all parameter values into dst (same architecture) — the
+// target-network update used by DQN/DDPG/TD3/SAC.
+func (m *MLP) CopyTo(dst *MLP) {
+	sp, dp := m.Params(), dst.Params()
+	if len(sp) != len(dp) {
+		panic("nn: CopyTo architecture mismatch")
+	}
+	for i := range sp {
+		dp[i].Value.CopyFrom(sp[i].Value)
+	}
+}
+
+// PolyakTo blends parameters into dst: dst = tau*src + (1-tau)*dst — the
+// soft target update.
+func (m *MLP) PolyakTo(dst *MLP, tau float64) {
+	sp, dp := m.Params(), dst.Params()
+	for i := range sp {
+		for j := range dp[i].Value.Data {
+			dp[i].Value.Data[j] = tau*sp[i].Value.Data[j] + (1-tau)*dp[i].Value.Data[j]
+		}
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// ForwardFLOPs estimates the forward-pass FLOP count for a batch of n.
+func (m *MLP) ForwardFLOPs(n int) float64 {
+	var f float64
+	for _, l := range m.Layers {
+		f += 2 * float64(n) * float64(l.In) * float64(l.Out)
+	}
+	return f
+}

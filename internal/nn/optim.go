@@ -1,0 +1,103 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from accumulated gradients. Implementations
+// are pure math; the ML backend decides how each update maps onto device
+// work (fused GPU kernels vs. the MPI-friendly CPU path of paper F.4).
+type Optimizer interface {
+	// Step applies one update to the parameters and advances internal
+	// state (e.g. Adam's timestep).
+	Step(params []*Param)
+	// Name identifies the optimizer in traces and reports.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		p.Value.AddScaled(p.Grad, -s.LR)
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba). UpdateParam exposes the
+// per-parameter update so the backend can model the two deployment styles
+// the paper contrasts:
+//
+//   - fused on-device update (tf-agents, ReAgent): a couple of kernels per
+//     parameter tensor, weights never leave the GPU;
+//   - stable-baselines' MPI-friendly Python Adam (paper F.4): weights are
+//     copied device→host, updated on the CPU, and written back — even
+//     during single-node training.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	t       int
+}
+
+// NewAdam returns Adam with standard defaults and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	for _, p := range params {
+		a.UpdateParam(p)
+	}
+}
+
+// BeginStep advances the timestep without touching parameters; callers that
+// drive UpdateParam directly (the backend's MPI-Adam path) pair it with one
+// UpdateParam per parameter.
+func (a *Adam) BeginStep() { a.t++ }
+
+// UpdateParam applies Adam to a single parameter using the current timestep.
+func (a *Adam) UpdateParam(p *Param) {
+	if p.M == nil {
+		p.M = NewTensor(p.Value.Rows, p.Value.Cols)
+		p.V = NewTensor(p.Value.Rows, p.Value.Cols)
+	}
+	b1t := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2t := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, g := range p.Grad.Data {
+		p.M.Data[i] = a.Beta1*p.M.Data[i] + (1-a.Beta1)*g
+		p.V.Data[i] = a.Beta2*p.V.Data[i] + (1-a.Beta2)*g*g
+		mHat := p.M.Data[i] / b1t
+		vHat := p.V.Data[i] / b2t
+		p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+	}
+}
+
+// ClipGradByGlobalNorm rescales all gradients so their global L2 norm is at
+// most maxNorm, returning the pre-clip norm. Standard in PPO/A2C.
+func ClipGradByGlobalNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		f := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(f)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,94 @@
+// Package nvsmi reimplements the GPU-utilization metric reported by
+// nvidia-smi, which the paper's scale-up case study (§4.3, F.11) shows to be
+// drastically misleading for RL workloads.
+//
+// Per NVIDIA's documentation (quoted in the paper), utilization is sampled:
+// the tool checks once per sample period whether one or more kernels were
+// executing, and if so the whole period counts as 100% utilized. The sample
+// period is between 1/6 s and 1 s. RL inference kernels are short but
+// numerous, so nearly every period contains at least one kernel and the tool
+// reads ~100% while the device is in fact almost idle.
+package nvsmi
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/vclock"
+)
+
+// DefaultPeriod is the nvidia-smi sample period modelled here (the fast end
+// of NVIDIA's documented 1/6s–1s range).
+const DefaultPeriod = vclock.Second / 6
+
+// Report summarizes sampled utilization over a time window.
+type Report struct {
+	// Periods is the number of sample periods in the window.
+	Periods int
+	// ActivePeriods is how many periods contained at least one kernel.
+	ActivePeriods int
+	// BusyTime is the true device-busy time in the window (the union of
+	// kernel intervals) — what RL-Scope reports instead.
+	BusyTime vclock.Duration
+	// Window is the length of the sampled window.
+	Window vclock.Duration
+}
+
+// Utilization returns the sampled utilization fraction in [0, 1] — the
+// number nvidia-smi would print.
+func (r Report) Utilization() float64 {
+	if r.Periods == 0 {
+		return 0
+	}
+	return float64(r.ActivePeriods) / float64(r.Periods)
+}
+
+// TrueUtilization returns busy-time divided by window — the honest
+// duty-cycle nvidia-smi does not report.
+func (r Report) TrueUtilization() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return r.BusyTime.Seconds() / r.Window.Seconds()
+}
+
+// Sample computes the sampled-utilization report for busy intervals within
+// [start, end) using the given sample period. period <= 0 uses
+// DefaultPeriod.
+func Sample(busy []gpu.Busy, start, end vclock.Time, period vclock.Duration) Report {
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	if end <= start {
+		return Report{}
+	}
+	union := gpu.Union(busy)
+	rep := Report{Window: end.Sub(start)}
+	for _, iv := range union {
+		lo, hi := iv.Start, iv.End
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			rep.BusyTime += hi.Sub(lo)
+		}
+	}
+	// Walk sample periods; binary search would work but the union is
+	// small and periods are few in simulated runs.
+	i := 0
+	for t := start; t < end; t = t.Add(period) {
+		pEnd := t.Add(period)
+		if pEnd > end {
+			pEnd = end
+		}
+		rep.Periods++
+		for i < len(union) && union[i].End <= t {
+			i++
+		}
+		if i < len(union) && union[i].Start < pEnd {
+			rep.ActivePeriods++
+		}
+	}
+	return rep
+}

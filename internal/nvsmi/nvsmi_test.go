@@ -1,0 +1,81 @@
+package nvsmi
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/vclock"
+)
+
+func sec(f float64) vclock.Time { return vclock.Time(f * float64(vclock.Second)) }
+
+// TestShortKernelsInflateUtilization reproduces the paper's F.11 mechanism:
+// one tiny kernel per sample period makes nvidia-smi report 100% while the
+// true duty cycle is negligible.
+func TestShortKernelsInflateUtilization(t *testing.T) {
+	var busy []gpu.Busy
+	// One 100 µs kernel every 1/6 s for 60 s: duty cycle 0.06%.
+	period := DefaultPeriod
+	for ts := vclock.Time(0); ts < sec(60); ts = ts.Add(period) {
+		busy = append(busy, gpu.Busy{Start: ts.Add(1000), End: ts.Add(1000 + 100*vclock.Microsecond)})
+	}
+	rep := Sample(busy, 0, sec(60), period)
+	// A trailing fractional sample period may be empty; everything else
+	// must read active.
+	if rep.Utilization() < 0.99 {
+		t.Fatalf("sampled utilization = %.4f, want ~1.0", rep.Utilization())
+	}
+	if got := rep.TrueUtilization(); got > 0.001 {
+		t.Fatalf("true utilization = %.4f, want < 0.1%%", got)
+	}
+}
+
+func TestIdleDeviceReportsZero(t *testing.T) {
+	rep := Sample(nil, 0, sec(10), 0)
+	if rep.Utilization() != 0 || rep.TrueUtilization() != 0 {
+		t.Fatalf("idle device: util=%v true=%v", rep.Utilization(), rep.TrueUtilization())
+	}
+	if rep.Periods < 60 || rep.Periods > 61 {
+		t.Fatalf("periods = %d, want ~60 over 10s at 1/6s", rep.Periods)
+	}
+}
+
+func TestFullyBusyDevice(t *testing.T) {
+	busy := []gpu.Busy{{Start: 0, End: sec(10)}}
+	rep := Sample(busy, 0, sec(10), 0)
+	if rep.Utilization() != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", rep.Utilization())
+	}
+	if got := rep.TrueUtilization(); got < 0.999 || got > 1.001 {
+		t.Fatalf("true utilization = %v, want ~1.0", got)
+	}
+}
+
+func TestPartialWindowClipping(t *testing.T) {
+	// Busy interval extends past the window; BusyTime must be clipped.
+	busy := []gpu.Busy{{Start: sec(9), End: sec(15)}}
+	rep := Sample(busy, 0, sec(10), 0)
+	if got := rep.BusyTime; got != vclock.Duration(sec(1)) {
+		t.Fatalf("BusyTime = %v, want 1s", got)
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	rep := Sample(nil, 10, 10, 0)
+	if rep.Periods != 0 || rep.Utilization() != 0 {
+		t.Fatalf("empty window: %+v", rep)
+	}
+}
+
+func TestHalfActivePeriods(t *testing.T) {
+	// Kernels only in the first half of the window.
+	var busy []gpu.Busy
+	period := DefaultPeriod
+	for ts := vclock.Time(0); ts < sec(5); ts = ts.Add(period) {
+		busy = append(busy, gpu.Busy{Start: ts, End: ts.Add(100)})
+	}
+	rep := Sample(busy, 0, sec(10), period)
+	if got := rep.Utilization(); got < 0.45 || got > 0.55 {
+		t.Fatalf("utilization = %v, want ~0.5", got)
+	}
+}

@@ -1,0 +1,252 @@
+// Package overlap implements RL-Scope's cross-stack event overlap
+// computation (paper §3.3).
+//
+// Raw event traces overwhelm users; what they want is "what percentage of
+// the critical path was CPU-bound vs GPU-bound vs both, inside each
+// high-level algorithmic operation, and in which tier of the software
+// stack". The overlap computation walks the trace left to right and, for
+// each elementary interval between event boundaries, attributes the
+// interval's duration to a key:
+//
+//	(innermost active operation, resource set {CPU, GPU, CPU+GPU},
+//	 innermost active CPU category)
+//
+// "Innermost wins" is correct because within one single-threaded process the
+// CPU tiers nest like a call stack: Python calls the simulator or the ML
+// backend, and the backend calls the CUDA API. GPU events overlap CPU events
+// freely — that overlap is precisely what the analysis measures.
+package overlap
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// ResourceSet is a bitmask of hardware resources active during an interval.
+type ResourceSet uint8
+
+// Resource bits.
+const (
+	ResCPU ResourceSet = 1 << iota
+	ResGPU
+)
+
+// String returns the paper's legend name for the resource set.
+func (r ResourceSet) String() string {
+	switch r {
+	case ResCPU:
+		return "CPU"
+	case ResGPU:
+		return "GPU"
+	case ResCPU | ResGPU:
+		return "CPU + GPU"
+	default:
+		return "idle"
+	}
+}
+
+// UntrackedOp is the operation label assigned to time not covered by any
+// user annotation.
+const UntrackedOp = "(untracked)"
+
+// Key identifies one cell of the overlap breakdown.
+type Key struct {
+	// Op is the innermost operation annotation active during the
+	// interval, or UntrackedOp.
+	Op string
+	// Res is the set of resources in use.
+	Res ResourceSet
+	// Cat is the innermost CPU category when ResCPU is set; for GPU-only
+	// intervals it is the GPU event category (kernel vs memcpy, with
+	// kernels taking precedence when both are in flight).
+	Cat trace.Category
+}
+
+// Result is the outcome of the overlap computation for one process.
+type Result struct {
+	// ByKey maps breakdown cells to accumulated duration.
+	ByKey map[Key]vclock.Duration
+	// Transitions counts language transitions per (operation, label).
+	Transitions map[TransitionKey]int
+	// Span is the [start, end] extent of the process's events.
+	SpanStart, SpanEnd vclock.Time
+}
+
+// TransitionKey identifies a transition counter.
+type TransitionKey struct {
+	Op    string
+	Label string
+}
+
+// Compute runs the overlap sweep over one process's events. The slice may be
+// in any order; only KindCPU, KindGPU, KindOp and KindTransition events
+// participate.
+func Compute(events []trace.Event) *Result {
+	res := &Result{
+		ByKey:       map[Key]vclock.Duration{},
+		Transitions: map[TransitionKey]int{},
+	}
+	type boundary struct {
+		t    vclock.Time
+		open bool
+		ev   int
+	}
+	var bounds []boundary
+	var spanSet bool
+	for i, e := range events {
+		switch e.Kind {
+		case trace.KindCPU, trace.KindGPU, trace.KindOp:
+			if e.End <= e.Start {
+				continue // zero-width intervals contribute nothing
+			}
+			bounds = append(bounds, boundary{e.Start, true, i}, boundary{e.End, false, i})
+			if !spanSet || e.Start < res.SpanStart {
+				res.SpanStart = e.Start
+			}
+			if !spanSet || e.End > res.SpanEnd {
+				res.SpanEnd = e.End
+			}
+			spanSet = true
+		}
+	}
+	// Transition counters are scoped to the innermost operation active at
+	// the marker's timestamp; resolve them after the op intervals are
+	// known, via a second sweep below.
+	sort.Slice(bounds, func(i, j int) bool {
+		if bounds[i].t != bounds[j].t {
+			return bounds[i].t < bounds[j].t
+		}
+		// Closes before opens at the same instant, so back-to-back
+		// intervals do not appear concurrent.
+		return !bounds[i].open && bounds[j].open
+	})
+
+	active := map[int]bool{}
+	var prev vclock.Time
+	first := true
+	for bi := 0; bi < len(bounds); {
+		t := bounds[bi].t
+		if !first && t > prev {
+			if k, ok := classify(events, active); ok {
+				res.ByKey[k] += t.Sub(prev)
+			}
+		}
+		for bi < len(bounds) && bounds[bi].t == t {
+			if bounds[bi].open {
+				active[bounds[bi].ev] = true
+			} else {
+				delete(active, bounds[bi].ev)
+			}
+			bi++
+		}
+		prev = t
+		first = false
+	}
+
+	// Second pass: scope transition markers to operations.
+	ops := opIntervals(events)
+	for _, e := range events {
+		if e.Kind != trace.KindTransition {
+			continue
+		}
+		res.Transitions[TransitionKey{Op: ops.at(e.Start), Label: e.Name}]++
+	}
+	return res
+}
+
+// classify determines the breakdown key for the current active event set.
+// It reports ok=false when nothing is running (idle gap).
+func classify(events []trace.Event, active map[int]bool) (Key, bool) {
+	var (
+		cpuBest  trace.Event
+		cpuFound bool
+		gpuBest  trace.Event
+		gpuFound bool
+		opBest   trace.Event
+		opFound  bool
+	)
+	for idx := range active {
+		e := events[idx]
+		switch e.Kind {
+		case trace.KindCPU:
+			if !cpuFound || innerCPU(e, cpuBest) {
+				cpuBest, cpuFound = e, true
+			}
+		case trace.KindGPU:
+			// Kernels take precedence over memcpys for labelling
+			// concurrent device activity.
+			if !gpuFound || (e.Cat == trace.CatGPUKernel && gpuBest.Cat != trace.CatGPUKernel) {
+				gpuBest, gpuFound = e, true
+			}
+		case trace.KindOp:
+			if !opFound || e.Start > opBest.Start || (e.Start == opBest.Start && e.End < opBest.End) {
+				opBest, opFound = e, true
+			}
+		}
+	}
+	if !cpuFound && !gpuFound {
+		return Key{}, false
+	}
+	k := Key{Op: UntrackedOp}
+	if opFound {
+		k.Op = opBest.Name
+	}
+	if cpuFound {
+		k.Res |= ResCPU
+		k.Cat = cpuBest.Cat
+	}
+	if gpuFound {
+		k.Res |= ResGPU
+		if !cpuFound {
+			k.Cat = gpuBest.Cat
+		}
+	}
+	return k, true
+}
+
+// innerCPU reports whether a is more deeply nested than b: later start wins;
+// at equal starts the higher CPU rank (deeper tier) wins.
+func innerCPU(a, b trace.Event) bool {
+	if a.Start != b.Start {
+		return a.Start > b.Start
+	}
+	return a.Cat.CPURank() > b.Cat.CPURank()
+}
+
+// opIndex answers "which operation is active at time t" queries.
+type opIndex struct {
+	events []trace.Event // KindOp only, sorted by (Start, End desc)
+}
+
+func opIntervals(events []trace.Event) opIndex {
+	var ops []trace.Event
+	for _, e := range events {
+		if e.Kind == trace.KindOp && e.End > e.Start {
+			ops = append(ops, e)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Start != ops[j].Start {
+			return ops[i].Start < ops[j].Start
+		}
+		return ops[i].End > ops[j].End
+	})
+	return opIndex{events: ops}
+}
+
+// at returns the innermost operation covering t, or UntrackedOp.
+func (ix opIndex) at(t vclock.Time) string {
+	best := UntrackedOp
+	var bestStart vclock.Time = -1
+	for _, e := range ix.events {
+		if e.Start > t {
+			break
+		}
+		if t < e.End && e.Start >= bestStart {
+			best, bestStart = e.Name, e.Start
+		}
+	}
+	return best
+}

@@ -1,0 +1,397 @@
+package overlap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func ms(f float64) vclock.Time { return vclock.Time(f * float64(vclock.Millisecond)) }
+
+func msd(f float64) vclock.Duration { return vclock.Duration(f * float64(vclock.Millisecond)) }
+
+// TestFigure3WorkedExample reconstructs the paper's Figure 3 exactly:
+// a 3.74 ms trace with an mcts_tree_search operation containing two
+// expand_leaf operations, two GPU kernels overlapping the latter, and the
+// published region sums:
+//
+//	CPU, mcts_tree_search       = (a) + (e)             = 1.25 ms
+//	CPU, expand_leaf            = (b) + (d) + (f) + (h) = 0.79 ms
+//	GPU, CPU, expand_leaf       = (c) + (g)             = 1.70 ms
+func TestFigure3WorkedExample(t *testing.T) {
+	events := []trace.Event{
+		// Root CPU activity (Python) across the whole window.
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: ms(0), End: ms(3.74), Name: "python"},
+		// Operations.
+		{Kind: trace.KindOp, Start: ms(0), End: ms(3.74), Name: "mcts_tree_search"},
+		{Kind: trace.KindOp, Start: ms(0.75), End: ms(2.10), Name: "expand_leaf"},
+		{Kind: trace.KindOp, Start: ms(2.60), End: ms(3.74), Name: "expand_leaf"},
+		// GPU kernels: regions (c) and (g).
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(1.05), End: ms(1.90), Name: "expand"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(2.75), End: ms(3.60), Name: "expand"},
+	}
+	res := Compute(events)
+
+	if got, want := res.Dur("mcts_tree_search", ResCPU, trace.CatPython), msd(1.25); got != want {
+		t.Errorf("CPU mcts_tree_search = %v, want %v", got, want)
+	}
+	if got, want := res.Dur("expand_leaf", ResCPU, trace.CatPython), msd(0.79); got != want {
+		t.Errorf("CPU expand_leaf = %v, want %v", got, want)
+	}
+	if got, want := res.Dur("expand_leaf", ResCPU|ResGPU, trace.CatPython), msd(1.70); got != want {
+		t.Errorf("CPU+GPU expand_leaf = %v, want %v", got, want)
+	}
+	if got, want := res.Total(), msd(3.74); got != want {
+		t.Errorf("total = %v, want %v", got, want)
+	}
+}
+
+func TestInnermostCPUCategoryWins(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 100, Name: "python"},
+		{Kind: trace.KindCPU, Cat: trace.CatBackend, Start: 20, End: 80, Name: "run"},
+		{Kind: trace.KindCPU, Cat: trace.CatCUDA, Start: 40, End: 50, Name: "cudaLaunchKernel"},
+	}
+	res := Compute(events)
+	if got := res.Dur(UntrackedOp, ResCPU, trace.CatPython); got != 40 {
+		t.Errorf("Python time = %v, want 40", got)
+	}
+	if got := res.Dur(UntrackedOp, ResCPU, trace.CatBackend); got != 50 {
+		t.Errorf("Backend time = %v, want 50", got)
+	}
+	if got := res.Dur(UntrackedOp, ResCPU, trace.CatCUDA); got != 10 {
+		t.Errorf("CUDA time = %v, want 10", got)
+	}
+}
+
+func TestGPUOnlyRegions(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 50, Name: "python"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: 40, End: 90, Name: "k"},
+	}
+	res := Compute(events)
+	if got := res.Dur(UntrackedOp, ResCPU, trace.CatPython); got != 40 {
+		t.Errorf("CPU-only = %v, want 40", got)
+	}
+	if got := res.Dur(UntrackedOp, ResCPU|ResGPU, trace.CatPython); got != 10 {
+		t.Errorf("CPU+GPU = %v, want 10", got)
+	}
+	if got := res.Dur(UntrackedOp, ResGPU, trace.CatGPUKernel); got != 40 {
+		t.Errorf("GPU-only = %v, want 40", got)
+	}
+}
+
+func TestKernelPrecedenceOverMemcpy(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindGPU, Cat: trace.CatGPUMemcpy, Start: 0, End: 100, Name: "m"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: 40, End: 60, Name: "k"},
+	}
+	res := Compute(events)
+	if got := res.Dur(UntrackedOp, ResGPU, trace.CatGPUKernel); got != 20 {
+		t.Errorf("kernel-labelled GPU time = %v, want 20", got)
+	}
+	if got := res.Dur(UntrackedOp, ResGPU, trace.CatGPUMemcpy); got != 80 {
+		t.Errorf("memcpy-labelled GPU time = %v, want 80", got)
+	}
+}
+
+func TestIdleGapsAttributedNowhere(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 10, Name: "a"},
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 50, End: 60, Name: "b"},
+	}
+	res := Compute(events)
+	if got := res.Total(); got != 20 {
+		t.Errorf("total = %v, want 20 (idle gap excluded)", got)
+	}
+}
+
+func TestZeroWidthEventsIgnored(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 5, End: 5, Name: "zero"},
+	}
+	res := Compute(events)
+	if got := res.Total(); got != 0 {
+		t.Errorf("total = %v, want 0", got)
+	}
+}
+
+func TestTransitionScoping(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindOp, Start: 0, End: 100, Name: "inference"},
+		{Kind: trace.KindOp, Start: 100, End: 200, Name: "simulation"},
+		{Kind: trace.KindTransition, Start: 10, End: 10, Name: trace.TransPythonToBackend},
+		{Kind: trace.KindTransition, Start: 20, End: 20, Name: trace.TransPythonToBackend},
+		{Kind: trace.KindTransition, Start: 150, End: 150, Name: trace.TransPythonToSimulator},
+		{Kind: trace.KindTransition, Start: 250, End: 250, Name: trace.TransPythonToSimulator},
+	}
+	res := Compute(events)
+	if got := res.TransitionCount("inference", trace.TransPythonToBackend); got != 2 {
+		t.Errorf("inference backend transitions = %d, want 2", got)
+	}
+	if got := res.TransitionCount("simulation", trace.TransPythonToSimulator); got != 1 {
+		t.Errorf("simulation simulator transitions = %d, want 1", got)
+	}
+	if got := res.TransitionCount(UntrackedOp, trace.TransPythonToSimulator); got != 1 {
+		t.Errorf("untracked simulator transitions = %d, want 1", got)
+	}
+	if got := res.TotalTransitions(trace.TransPythonToSimulator); got != 2 {
+		t.Errorf("total simulator transitions = %d, want 2", got)
+	}
+}
+
+func TestNestedOpsInnermostWins(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 100, Name: "python"},
+		{Kind: trace.KindOp, Start: 0, End: 100, Name: "outer"},
+		{Kind: trace.KindOp, Start: 30, End: 70, Name: "inner"},
+	}
+	res := Compute(events)
+	if got := res.Dur("outer", ResCPU, trace.CatPython); got != 60 {
+		t.Errorf("outer = %v, want 60", got)
+	}
+	if got := res.Dur("inner", ResCPU, trace.CatPython); got != 40 {
+		t.Errorf("inner = %v, want 40", got)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 100, Name: "python"},
+		{Kind: trace.KindCPU, Cat: trace.CatBackend, Start: 10, End: 30, Name: "run"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: 20, End: 40, Name: "k"},
+		{Kind: trace.KindOp, Start: 0, End: 100, Name: "step"},
+	}
+	res := Compute(events)
+	if got := res.CPUTime("step"); got != 100 {
+		t.Errorf("CPUTime = %v, want 100", got)
+	}
+	if got := res.GPUTime("step"); got != 20 {
+		t.Errorf("GPUTime = %v, want 20", got)
+	}
+	if got := res.CategoryCPUTime("step", trace.CatBackend); got != 20 {
+		t.Errorf("CategoryCPUTime(backend) = %v, want 20", got)
+	}
+	if got := res.OpTotal("step"); got != 100 {
+		t.Errorf("OpTotal = %v, want 100", got)
+	}
+	names := res.OpNames()
+	if len(names) != 1 || names[0] != "step" {
+		t.Errorf("OpNames = %v", names)
+	}
+	if got := res.TotalGPUTime(); got != 20 {
+		t.Errorf("TotalGPUTime = %v, want 20", got)
+	}
+	if got := res.TotalCategoryCPUTime(trace.CatPython); got != 80 {
+		t.Errorf("TotalCategoryCPUTime(python) = %v, want 80", got)
+	}
+}
+
+func TestMergeResults(t *testing.T) {
+	a := Compute([]trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 10, Name: "p"},
+	})
+	b := Compute([]trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 15, Name: "p"},
+	})
+	a.Merge(b)
+	if got := a.Dur(UntrackedOp, ResCPU, trace.CatPython); got != 25 {
+		t.Errorf("merged python = %v, want 25", got)
+	}
+}
+
+// referenceCompute is a brute-force re-implementation of the sweep: it
+// evaluates the attribution at every unit timestep. Used as the oracle in
+// the property test.
+func referenceCompute(events []trace.Event, horizon vclock.Time) map[Key]vclock.Duration {
+	out := map[Key]vclock.Duration{}
+	for tm := vclock.Time(0); tm < horizon; tm++ {
+		var cpu, gpuEv, op *trace.Event
+		for i := range events {
+			e := &events[i]
+			if e.Start > tm || tm >= e.End {
+				continue
+			}
+			switch e.Kind {
+			case trace.KindCPU:
+				if cpu == nil || e.Start > cpu.Start ||
+					(e.Start == cpu.Start && e.Cat.CPURank() > cpu.Cat.CPURank()) {
+					cpu = e
+				}
+			case trace.KindGPU:
+				if gpuEv == nil || (e.Cat == trace.CatGPUKernel && gpuEv.Cat != trace.CatGPUKernel) {
+					gpuEv = e
+				}
+			case trace.KindOp:
+				if op == nil || e.Start > op.Start || (e.Start == op.Start && e.End < op.End) {
+					op = e
+				}
+			}
+		}
+		if cpu == nil && gpuEv == nil {
+			continue
+		}
+		k := Key{Op: UntrackedOp}
+		if op != nil {
+			k.Op = op.Name
+		}
+		if cpu != nil {
+			k.Res |= ResCPU
+			k.Cat = cpu.Cat
+		}
+		if gpuEv != nil {
+			k.Res |= ResGPU
+			if cpu == nil {
+				k.Cat = gpuEv.Cat
+			}
+		}
+		out[k]++
+	}
+	return out
+}
+
+// genNestedEvents builds a random but structurally valid event set:
+// properly nested CPU events, properly nested ops, and arbitrary GPU
+// intervals, all within [0, horizon).
+func genNestedEvents(rng *rand.Rand, horizon vclock.Time) []trace.Event {
+	var events []trace.Event
+	// Nested CPU stack: python root, then random backend/sim segments
+	// with optional CUDA children.
+	events = append(events, trace.Event{
+		Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: horizon, Name: "python",
+	})
+	cursor := vclock.Time(rng.Int63n(5))
+	for cursor < horizon-4 {
+		segLen := vclock.Duration(2 + rng.Int63n(20))
+		end := cursor.Add(segLen)
+		if end > horizon {
+			end = horizon
+		}
+		cat := trace.CatBackend
+		if rng.Intn(2) == 0 {
+			cat = trace.CatSimulator
+		}
+		events = append(events, trace.Event{
+			Kind: trace.KindCPU, Cat: cat, Start: cursor, End: end, Name: "native",
+		})
+		if cat == trace.CatBackend && end.Sub(cursor) > 4 {
+			innerStart := cursor.Add(1)
+			innerEnd := end.Add(-1)
+			events = append(events, trace.Event{
+				Kind: trace.KindCPU, Cat: trace.CatCUDA,
+				Start: innerStart, End: innerEnd, Name: "api",
+			})
+		}
+		cursor = end.Add(vclock.Duration(rng.Int63n(8)))
+	}
+	// GPU intervals: arbitrary, may overlap everything.
+	for i := 0; i < rng.Intn(6); i++ {
+		s := vclock.Time(rng.Int63n(int64(horizon)))
+		e := s.Add(vclock.Duration(1 + rng.Int63n(30)))
+		if e > horizon {
+			e = horizon
+		}
+		cat := trace.CatGPUKernel
+		if rng.Intn(3) == 0 {
+			cat = trace.CatGPUMemcpy
+		}
+		events = append(events, trace.Event{Kind: trace.KindGPU, Cat: cat, Start: s, End: e, Name: "k"})
+	}
+	// Nested ops: two levels.
+	opStart := vclock.Time(rng.Int63n(int64(horizon) / 2))
+	opEnd := opStart.Add(vclock.Duration(rng.Int63n(int64(horizon)-int64(opStart)))) + 1
+	if opEnd > horizon {
+		opEnd = horizon
+	}
+	events = append(events, trace.Event{Kind: trace.KindOp, Start: opStart, End: opEnd, Name: "outer"})
+	if opEnd.Sub(opStart) > 6 {
+		events = append(events, trace.Event{
+			Kind: trace.KindOp, Start: opStart.Add(2), End: opEnd.Add(-2), Name: "inner",
+		})
+	}
+	return events
+}
+
+func TestSweepMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const horizon = vclock.Time(120)
+		events := genNestedEvents(rng, horizon)
+		got := Compute(events).ByKey
+		want := referenceCompute(events, horizon)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, d := range want {
+			if got[k] != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderInvarianceProperty: Compute must be a pure function of the event
+// *set* — shuffling the input slice never changes the result.
+func TestOrderInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const horizon = vclock.Time(100)
+		events := genNestedEvents(rng, horizon)
+		want := Compute(events).ByKey
+		shuffled := append([]trace.Event(nil), events...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got := Compute(shuffled).ByKey
+		if len(got) != len(want) {
+			return false
+		}
+		for k, d := range want {
+			if got[k] != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTotalConservation: attributed time must exactly equal the union of
+// busy time (no double counting, nothing dropped).
+func TestTotalConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const horizon = vclock.Time(150)
+		events := genNestedEvents(rng, horizon)
+		res := Compute(events)
+		// Union of all CPU/GPU interval coverage, computed directly.
+		covered := make([]bool, horizon)
+		for _, e := range events {
+			if e.Kind != trace.KindCPU && e.Kind != trace.KindGPU {
+				continue
+			}
+			for tm := e.Start; tm < e.End && tm < horizon; tm++ {
+				covered[tm] = true
+			}
+		}
+		var union vclock.Duration
+		for _, c := range covered {
+			if c {
+				union++
+			}
+		}
+		return res.Total() == union
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package overlap
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// PhaseBreakdown summarizes one training phase (paper §3.1's
+// rls.set_phase): its extent and the resource/category time inside it.
+// Minigo's three phases — selfplay, sgd_updates, evaluation — are the
+// paper's example.
+type PhaseBreakdown struct {
+	Name       string
+	Start, End vclock.Time
+	// CPU is CPU-busy time within the phase (including CPU+GPU overlap);
+	// GPU is device-busy time within the phase.
+	CPU, GPU vclock.Duration
+	// ByCategory splits the CPU time by stack tier.
+	ByCategory map[trace.Category]vclock.Duration
+}
+
+// Duration returns the phase extent.
+func (p PhaseBreakdown) Duration() vclock.Duration { return p.End.Sub(p.Start) }
+
+// Phases computes per-phase breakdowns for one process's events. Phases are
+// non-overlapping by construction (SetPhase closes the previous phase);
+// events spanning a phase boundary contribute the clipped portion.
+func Phases(events []trace.Event) []PhaseBreakdown {
+	var phases []PhaseBreakdown
+	for _, e := range events {
+		if e.Kind == trace.KindPhase && e.End > e.Start {
+			phases = append(phases, PhaseBreakdown{
+				Name:       e.Name,
+				Start:      e.Start,
+				End:        e.End,
+				ByCategory: map[trace.Category]vclock.Duration{},
+			})
+		}
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].Start < phases[j].Start })
+	if len(phases) == 0 {
+		return nil
+	}
+	for pi := range phases {
+		p := &phases[pi]
+		// Run the overlap sweep on events clipped to the phase window.
+		var clipped []trace.Event
+		for _, e := range events {
+			if e.Kind != trace.KindCPU && e.Kind != trace.KindGPU {
+				continue
+			}
+			if e.End <= p.Start || e.Start >= p.End {
+				continue
+			}
+			ce := e
+			if ce.Start < p.Start {
+				ce.Start = p.Start
+			}
+			if ce.End > p.End {
+				ce.End = p.End
+			}
+			clipped = append(clipped, ce)
+		}
+		res := Compute(clipped)
+		for k, d := range res.ByKey {
+			if k.Res&ResCPU != 0 {
+				p.CPU += d
+				p.ByCategory[k.Cat] += d
+			}
+			if k.Res&ResGPU != 0 {
+				p.GPU += d
+			}
+		}
+	}
+	return phases
+}
+
+// PhasesByProc computes phase breakdowns for every process in the trace.
+func PhasesByProc(t *trace.Trace) map[trace.ProcID][]PhaseBreakdown {
+	out := map[trace.ProcID][]PhaseBreakdown{}
+	for _, p := range t.ProcIDs() {
+		if ph := Phases(t.ProcEvents(p)); ph != nil {
+			out[p] = ph
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// toyWorkload runs a miniature annotated training loop: python work, one
+// simulator call, and one backend call that launches two kernels and syncs.
+func toyWorkload(p *Profiler, dev *gpu.Device, iters int) *Session {
+	s := p.NewProcess("trainer", -1, 0)
+	ctx := cuda.NewContext(s, dev, cuda.DefaultCosts())
+	s.SetPhase("training")
+	for i := 0; i < iters; i++ {
+		s.WithOperation("inference", func() {
+			s.Python(vclock.Exact(20 * vclock.Microsecond))
+			s.CallBackend("forward", func() {
+				s.Clock().Advance(5 * vclock.Microsecond)
+				ctx.LaunchKernel("matmul", 4*vclock.Microsecond)
+				ctx.StreamSynchronize()
+			})
+		})
+		s.WithOperation("simulation", func() {
+			s.CallSimulator("step", func() {
+				s.Clock().Advance(50 * vclock.Microsecond)
+			})
+		})
+		s.WithOperation("backpropagation", func() {
+			s.CallBackend("train_step", func() {
+				s.Clock().Advance(8 * vclock.Microsecond)
+				ctx.LaunchKernel("matmul_grad", 6*vclock.Microsecond)
+				ctx.StreamSynchronize()
+			})
+		})
+	}
+	s.Close()
+	return s
+}
+
+func TestUninstrumentedRunHasNoOverheadMarkers(t *testing.T) {
+	p := New(Options{Workload: "toy", Flags: trace.Uninstrumented(), Seed: 1})
+	toyWorkload(p, gpu.NewDevice(-1), 3)
+	tr := p.MustTrace()
+	if n := tr.CountKind(trace.KindOverhead); n != 0 {
+		t.Fatalf("uninstrumented run has %d overhead markers", n)
+	}
+	if counts := p.OverheadCounts(); len(counts) != 0 {
+		t.Fatalf("uninstrumented overhead counts = %v", counts)
+	}
+}
+
+func TestFullRunRecordsMarkersAndInflates(t *testing.T) {
+	base := New(Options{Workload: "toy", Flags: trace.Uninstrumented(), Seed: 1})
+	toyWorkload(base, gpu.NewDevice(-1), 5)
+
+	full := New(Options{Workload: "toy", Flags: trace.Full(), Seed: 1})
+	toyWorkload(full, gpu.NewDevice(-1), 5)
+
+	if full.TotalTime() <= base.TotalTime() {
+		t.Fatalf("instrumented run (%v) not slower than uninstrumented (%v)",
+			full.TotalTime(), base.TotalTime())
+	}
+	tr := full.MustTrace()
+	if n := tr.CountKind(trace.KindOverhead); n == 0 {
+		t.Fatal("full run recorded no overhead markers")
+	}
+	counts := full.OverheadCounts()
+	for _, k := range []trace.OverheadKind{
+		trace.OverheadAnnotation, trace.OverheadInterception,
+		trace.OverheadCUDAIntercept, trace.OverheadCUPTI,
+	} {
+		if counts[k] == 0 {
+			t.Fatalf("no occurrences of %v", k)
+		}
+	}
+}
+
+// TestWorkloadDeterministicAcrossFlags verifies the delta-calibration
+// precondition: base workload cost draws are identical regardless of which
+// profiler features are enabled.
+func TestWorkloadDeterministicAcrossFlags(t *testing.T) {
+	runTotal := func(flags trace.FeatureFlags) vclock.Duration {
+		p := New(Options{
+			Workload: "toy", Flags: flags, Seed: 42,
+			// Exact overheads so inflation is exactly mean*count.
+			Overheads: OverheadModel{
+				Annotation:    vclock.Exact(vclock.Microsecond),
+				Interception:  vclock.Exact(vclock.Microsecond),
+				CUDAIntercept: vclock.Exact(vclock.Microsecond),
+				CUPTI:         map[string]vclock.Dist{},
+			},
+		})
+		toyWorkload(p, gpu.NewDevice(-1), 4)
+		return p.TotalTime()
+	}
+	base := runTotal(trace.Uninstrumented())
+	annot := runTotal(trace.FeatureFlags{Annotations: true})
+
+	p := New(Options{Workload: "toy", Flags: trace.FeatureFlags{Annotations: true}, Seed: 42,
+		Overheads: OverheadModel{
+			Annotation:    vclock.Exact(vclock.Microsecond),
+			Interception:  vclock.Exact(vclock.Microsecond),
+			CUDAIntercept: vclock.Exact(vclock.Microsecond),
+			CUPTI:         map[string]vclock.Dist{},
+		}})
+	toyWorkload(p, gpu.NewDevice(-1), 4)
+	count := p.OverheadCounts()[trace.OverheadAnnotation]
+
+	if got, want := annot-base, vclock.Duration(count)*vclock.Microsecond; got != want {
+		t.Fatalf("annotation-only inflation = %v, want exactly count×mean = %v", got, want)
+	}
+}
+
+func TestTraceStructureIsValid(t *testing.T) {
+	p := New(Options{Workload: "toy", Flags: trace.Full(), Seed: 3})
+	toyWorkload(p, gpu.NewDevice(-1), 3)
+	tr := p.MustTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+}
+
+func TestOverlapOfToyWorkload(t *testing.T) {
+	p := New(Options{Workload: "toy", Flags: trace.Uninstrumented(), Seed: 4})
+	toyWorkload(p, gpu.NewDevice(-1), 10)
+	tr := p.MustTrace()
+	res := overlap.Compute(tr.ProcEvents(0))
+
+	for _, op := range []string{"inference", "simulation", "backpropagation"} {
+		if res.OpTotal(op) == 0 {
+			t.Fatalf("no time attributed to %s", op)
+		}
+	}
+	// Simulation must be pure CPU in the Simulator tier.
+	if res.CategoryCPUTime("simulation", trace.CatSimulator) == 0 {
+		t.Fatal("simulation has no Simulator-tier CPU time")
+	}
+	if res.GPUTime("simulation") != 0 {
+		t.Fatal("simulation should not use the GPU")
+	}
+	// Inference and backprop must have GPU time (the launched kernels).
+	if res.GPUTime("inference") == 0 || res.GPUTime("backpropagation") == 0 {
+		t.Fatal("NN operations recorded no GPU time")
+	}
+	// Transition counts: 1 backend call per inference/backprop iteration,
+	// 1 sim call per simulation iteration.
+	if got := res.TransitionCount("simulation", trace.TransPythonToSimulator); got != 10 {
+		t.Fatalf("simulator transitions = %d, want 10", got)
+	}
+	if got := res.TransitionCount("inference", trace.TransPythonToBackend); got != 10 {
+		t.Fatalf("inference backend transitions = %d, want 10", got)
+	}
+	if got := res.TransitionCount("backpropagation", trace.TransBackendToCUDA); got != 20 {
+		t.Fatalf("backprop CUDA transitions = %d, want 20 (launch+sync per iter)", got)
+	}
+}
+
+func TestOperationNestingPanicsOnDoubleEnd(t *testing.T) {
+	p := New(Options{Workload: "x", Seed: 1})
+	s := p.NewProcess("m", -1, 0)
+	op := s.Operation("a")
+	op.End()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double End did not panic")
+		}
+	}()
+	op.End()
+}
+
+func TestCloseWithOpenOperationPanics(t *testing.T) {
+	p := New(Options{Workload: "x", Seed: 1})
+	s := p.NewProcess("m", -1, 0)
+	s.Operation("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Close with open operation did not panic")
+		}
+	}()
+	s.Close()
+}
+
+func TestTraceRequiresClosedSessions(t *testing.T) {
+	p := New(Options{Workload: "x", Seed: 1})
+	p.NewProcess("m", -1, 0)
+	if _, err := p.Trace(); err == nil {
+		t.Fatal("Trace() succeeded with unclosed session")
+	}
+}
+
+func TestMultiProcessMetadata(t *testing.T) {
+	p := New(Options{Workload: "multi", Seed: 1})
+	root := p.NewProcess("trainer", -1, 0)
+	root.Clock().Advance(vclock.Second)
+	w := p.NewProcess("worker_0", root.Proc(), root.Clock().Now())
+	if w.Clock().Now() != root.Clock().Now() {
+		t.Fatal("forked process did not inherit parent clock")
+	}
+	w.Close()
+	root.Close()
+	tr := p.MustTrace()
+	if tr.Meta.Procs[w.Proc()].Parent != root.Proc() {
+		t.Fatalf("worker parent = %d, want %d", tr.Meta.Procs[w.Proc()].Parent, root.Proc())
+	}
+	if tr.Meta.Procs[root.Proc()].Name != "trainer" {
+		t.Fatalf("proc names = %+v", tr.Meta.Procs)
+	}
+}
+
+func TestPhaseRecorded(t *testing.T) {
+	p := New(Options{Workload: "x", Seed: 1})
+	s := p.NewProcess("m", -1, 0)
+	s.SetPhase("data_collection")
+	s.Python(vclock.Exact(10 * vclock.Microsecond))
+	s.SetPhase("sgd_updates")
+	s.Python(vclock.Exact(5 * vclock.Microsecond))
+	s.Close()
+	tr := p.MustTrace()
+	var phases []string
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindPhase {
+			phases = append(phases, e.Name)
+		}
+	}
+	if len(phases) != 2 || phases[0] != "data_collection" || phases[1] != "sgd_updates" {
+		t.Fatalf("phases = %v", phases)
+	}
+}
+
+func TestSessionCloseIdempotent(t *testing.T) {
+	p := New(Options{Workload: "x", Seed: 1})
+	s := p.NewProcess("m", -1, 0)
+	s.Close()
+	s.Close() // must not panic or duplicate the root event
+	tr := p.MustTrace()
+	n := 0
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindCPU && e.Name == "python" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("root python events = %d, want 1", n)
+	}
+}

@@ -1,0 +1,252 @@
+package profiler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Session is the per-process recording context. It implements cuda.Recorder
+// so the simulated CUDA runtime can emit events and book-keeping through it,
+// and it provides the user-facing annotation and interception APIs.
+//
+// A Session is confined to its process's goroutine, like the thread-local
+// state of the real profiler.
+type Session struct {
+	prof   *Profiler
+	proc   trace.ProcID
+	name   string
+	parent trace.ProcID
+	clock  *vclock.Clock
+
+	events    []trace.Event
+	rootStart vclock.Time
+	closed    bool
+
+	phase      string
+	phaseStart vclock.Time
+
+	opDepth int
+
+	counts map[trace.OverheadKind]int
+
+	// ovrng draws book-keeping costs. It is separate from the clock's
+	// cost-jitter stream so that enabling or disabling profiler features
+	// leaves the workload's own cost draws bit-identical — the
+	// determinism assumption delta calibration relies on (paper
+	// Appendix C.1 footnote: "ML code is designed to be deterministic
+	// given the same random seed").
+	ovrng *rand.Rand
+}
+
+// Proc returns the session's process ID.
+func (s *Session) Proc() trace.ProcID { return s.proc }
+
+// Name returns the process name.
+func (s *Session) Name() string { return s.name }
+
+// Clock returns the process's virtual clock.
+func (s *Session) Clock() *vclock.Clock { return s.clock }
+
+// Emit records one event into the session buffer.
+func (s *Session) Emit(e trace.Event) {
+	s.events = append(s.events, e)
+}
+
+// Overhead executes one occurrence of profiler book-keeping: if the feature
+// is enabled, it emits a zero-width marker and advances the clock by the
+// hidden true cost. Disabled features cost nothing and leave no marker —
+// exactly the behaviour delta calibration exploits.
+func (s *Session) Overhead(kind trace.OverheadKind, name string) {
+	flags := s.prof.opts.Flags
+	var dist vclock.Dist
+	switch kind {
+	case trace.OverheadAnnotation:
+		if !flags.Annotations {
+			return
+		}
+		dist = s.prof.opts.Overheads.Annotation
+	case trace.OverheadInterception:
+		if !flags.Interception {
+			return
+		}
+		dist = s.prof.opts.Overheads.Interception
+	case trace.OverheadCUDAIntercept:
+		if !flags.CUDAIntercept {
+			return
+		}
+		dist = s.prof.opts.Overheads.CUDAIntercept
+	case trace.OverheadCUPTI:
+		if !flags.CUPTI {
+			return
+		}
+		dist = s.prof.opts.Overheads.CUPTI[name]
+	default:
+		panic(fmt.Sprintf("profiler: unknown overhead kind %v", kind))
+	}
+	s.counts[kind]++
+	now := s.clock.Now()
+	s.Emit(trace.Event{
+		Kind:     trace.KindOverhead,
+		Overhead: kind,
+		Proc:     s.proc,
+		Start:    now,
+		End:      now,
+		Name:     name,
+	})
+	s.clock.Advance(dist.Sample(s.ovrng))
+}
+
+// Transition records one language-transition marker at the current instant.
+func (s *Session) Transition(label string) {
+	now := s.clock.Now()
+	s.Emit(trace.Event{
+		Kind:  trace.KindTransition,
+		Proc:  s.proc,
+		Start: now,
+		End:   now,
+		Name:  label,
+	})
+}
+
+// SetPhase starts a new training phase, closing the previous one (paper
+// §3.1: rls.set_phase).
+func (s *Session) SetPhase(name string) {
+	s.closePhase()
+	s.phase = name
+	s.phaseStart = s.clock.Now()
+}
+
+func (s *Session) closePhase() {
+	if s.phase == "" {
+		return
+	}
+	s.Emit(trace.Event{
+		Kind:  trace.KindPhase,
+		Proc:  s.proc,
+		Start: s.phaseStart,
+		End:   s.clock.Now(),
+		Name:  s.phase,
+	})
+	s.phase = ""
+}
+
+// Op is an open operation annotation; End closes it. Operations nest
+// arbitrarily (paper §3.1: nested `with rls.operation(...)` blocks).
+type Op struct {
+	s     *Session
+	name  string
+	start vclock.Time
+	done  bool
+}
+
+// Operation opens a high-level algorithmic operation annotation.
+func (s *Session) Operation(name string) *Op {
+	s.Overhead(trace.OverheadAnnotation, name)
+	s.opDepth++
+	return &Op{s: s, name: name, start: s.clock.Now()}
+}
+
+// End closes the operation, emitting its annotation event. Calling End twice
+// panics: it indicates a structurally broken workload script.
+func (o *Op) End() {
+	if o.done {
+		panic(fmt.Sprintf("profiler: operation %q ended twice", o.name))
+	}
+	o.done = true
+	o.s.opDepth--
+	o.s.Emit(trace.Event{
+		Kind:  trace.KindOp,
+		Proc:  o.s.proc,
+		Start: o.start,
+		End:   o.s.clock.Now(),
+		Name:  o.name,
+	})
+	o.s.Overhead(trace.OverheadAnnotation, o.name)
+}
+
+// WithOperation runs fn inside an operation annotation.
+func (s *Session) WithOperation(name string, fn func()) {
+	op := s.Operation(name)
+	defer op.End()
+	fn()
+}
+
+// Python models high-level driver work: it spends virtual time that the
+// overlap analysis will attribute to the Python tier (no native event is
+// active during it).
+func (s *Session) Python(d vclock.Dist) {
+	s.clock.Spend(d)
+}
+
+// CallSimulator wraps one call into a simulator native library: it records
+// the Python→Simulator transition, pays interception book-keeping on entry
+// and exit, and emits a Simulator CPU event spanning the body.
+func (s *Session) CallSimulator(name string, fn func()) {
+	s.nativeCall(trace.CatSimulator, trace.TransPythonToSimulator, name, fn)
+}
+
+// CallBackend wraps one call into the ML backend's native library.
+func (s *Session) CallBackend(name string, fn func()) {
+	s.nativeCall(trace.CatBackend, trace.TransPythonToBackend, name, fn)
+}
+
+func (s *Session) nativeCall(cat trace.Category, transition, name string, fn func()) {
+	s.Transition(transition)
+	// Overhead markers carry the transition label rather than the call
+	// name so that validation reports (Figure 11) can split interception
+	// overhead into Python↔Backend vs Python↔Simulator stacks.
+	s.Overhead(trace.OverheadInterception, transition)
+	start := s.clock.Now()
+	fn()
+	end := s.clock.Now()
+	s.Emit(trace.Event{
+		Kind:  trace.KindCPU,
+		Cat:   cat,
+		Proc:  s.proc,
+		Start: start,
+		End:   end,
+		Name:  name,
+	})
+	s.Overhead(trace.OverheadInterception, transition)
+}
+
+// Close finalizes the session: it closes any open phase and emits the root
+// Python CPU event spanning the process lifetime. The root event makes the
+// overlap analysis attribute all time not spent in native libraries to the
+// Python tier, which is how the real profiler derives Python time from
+// transition timestamps.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	if s.opDepth != 0 {
+		panic(fmt.Sprintf("profiler: session %q closed with %d open operations", s.name, s.opDepth))
+	}
+	s.closePhase()
+	s.Emit(trace.Event{
+		Kind:  trace.KindCPU,
+		Cat:   trace.CatPython,
+		Proc:  s.proc,
+		Start: s.rootStart,
+		End:   s.clock.Now(),
+		Name:  "python",
+	})
+	s.closed = true
+}
+
+// OverheadCounts returns this session's book-keeping occurrence counts.
+func (s *Session) OverheadCounts() map[trace.OverheadKind]int {
+	out := make(map[trace.OverheadKind]int, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Elapsed returns the process's current total runtime.
+func (s *Session) Elapsed() vclock.Duration {
+	return vclock.Duration(s.clock.Now() - s.rootStart)
+}

@@ -1,0 +1,37 @@
+package profiler
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/trace"
+)
+
+func TestWriteToRoundTrip(t *testing.T) {
+	p := New(Options{Workload: "persisted", Flags: trace.Full(), Seed: 2})
+	toyWorkload(p, gpu.NewDevice(-1), 4)
+	dir := filepath.Join(t.TempDir(), "trace")
+	if err := p.WriteTo(dir); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := trace.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	want := p.MustTrace()
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got.Events), len(want.Events))
+	}
+	if got.Meta.Workload != "persisted" || !got.Meta.Config.CUPTI {
+		t.Fatalf("metadata mismatch: %+v", got.Meta)
+	}
+}
+
+func TestWriteToUnclosedSessionFails(t *testing.T) {
+	p := New(Options{Workload: "x", Seed: 1})
+	p.NewProcess("open", -1, 0)
+	if err := p.WriteTo(t.TempDir()); err == nil {
+		t.Fatal("WriteTo succeeded with an unclosed session")
+	}
+}

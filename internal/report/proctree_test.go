@@ -1,0 +1,55 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/overlap"
+	"repro/internal/trace"
+)
+
+func TestProcessTree(t *testing.T) {
+	tr := &trace.Trace{
+		Events: []trace.Event{
+			{Kind: trace.KindCPU, Cat: trace.CatPython, Proc: 0, Start: 0, End: 100, Name: "python"},
+			{Kind: trace.KindCPU, Cat: trace.CatPython, Proc: 1, Start: 10, End: 60, Name: "python"},
+			{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Proc: 1, Start: 20, End: 30, Name: "k"},
+			{Kind: trace.KindCPU, Cat: trace.CatPython, Proc: 2, Start: 10, End: 55, Name: "python"},
+		},
+		Meta: trace.Meta{Procs: map[trace.ProcID]trace.ProcInfo{
+			0: {Name: "trainer", Parent: -1},
+			1: {Name: "selfplay_worker_0", Parent: 0},
+			2: {Name: "selfplay_worker_1", Parent: 0},
+		}},
+	}
+	out := ProcessTree(tr, overlap.ComputeTrace(tr))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "trainer") {
+		t.Fatalf("root not first: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "├─ selfplay_worker_0") {
+		t.Fatalf("child connector wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "└─ selfplay_worker_1") {
+		t.Fatalf("last-child connector wrong: %s", lines[2])
+	}
+	if !strings.Contains(lines[1], "GPU=10ns") {
+		t.Fatalf("worker GPU time missing: %s", lines[1])
+	}
+}
+
+func TestProcessTreeUnnamedProcs(t *testing.T) {
+	tr := &trace.Trace{
+		Events: []trace.Event{
+			{Kind: trace.KindCPU, Cat: trace.CatPython, Proc: 5, Start: 0, End: 10, Name: "p"},
+		},
+		Meta: trace.Meta{Procs: map[trace.ProcID]trace.ProcInfo{5: {Parent: -1}}},
+	}
+	out := ProcessTree(tr, overlap.ComputeTrace(tr))
+	if !strings.Contains(out, "proc5") {
+		t.Fatalf("fallback name missing:\n%s", out)
+	}
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Timeline renders a window of one process's trace as ASCII lanes — the
+// textual analogue of the paper's Figure 3 illustration. One lane per stack
+// tier (GPU, CUDA, Backend, Simulator, Python) plus one per operation
+// annotation; each lane shows which columns of the window the tier was
+// active in.
+//
+//	GPU        ·····██████········███████··
+//	CUDA       ··█··█·····█·······█········
+//	...
+//	[inference]···████████████··············
+func Timeline(events []trace.Event, start, end vclock.Time, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if end <= start {
+		return ""
+	}
+	span := float64(end.Sub(start))
+	col := func(t vclock.Time) int {
+		c := int(float64(t.Sub(start)) / span * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	type lane struct {
+		label string
+		cells []bool
+	}
+	mk := func(label string) *lane { return &lane{label: label, cells: make([]bool, width)} }
+	lanes := []*lane{
+		mk("GPU"),
+		mk("CUDA"),
+		mk("Backend"),
+		mk("Simulator"),
+		mk("Python"),
+	}
+	laneFor := map[trace.Category]*lane{
+		trace.CatGPUKernel: lanes[0],
+		trace.CatGPUMemcpy: lanes[0],
+		trace.CatCUDA:      lanes[1],
+		trace.CatBackend:   lanes[2],
+		trace.CatSimulator: lanes[3],
+		trace.CatPython:    lanes[4],
+	}
+	opLanes := map[string]*lane{}
+	var opNames []string
+
+	paint := func(l *lane, s, e vclock.Time) {
+		c0, c1 := col(s), col(e)
+		if c1 == c0 {
+			c1 = c0 + 1 // sub-column events still show one cell
+		}
+		for c := c0; c < c1 && c < width; c++ {
+			l.cells[c] = true
+		}
+	}
+	for _, ev := range events {
+		if ev.End <= start || ev.Start >= end {
+			continue
+		}
+		s, e := ev.Start, ev.End
+		if s < start {
+			s = start
+		}
+		if e > end {
+			e = end
+		}
+		switch ev.Kind {
+		case trace.KindCPU, trace.KindGPU:
+			if l := laneFor[ev.Cat]; l != nil {
+				paint(l, s, e)
+			}
+		case trace.KindOp:
+			l := opLanes[ev.Name]
+			if l == nil {
+				l = mk("[" + ev.Name + "]")
+				opLanes[ev.Name] = l
+				opNames = append(opNames, ev.Name)
+			}
+			paint(l, s, e)
+		}
+	}
+	sort.Strings(opNames)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline %v .. %v (%v per column)\n", start, end,
+		vclock.Duration(span/float64(width)))
+	render := func(l *lane) {
+		fmt.Fprintf(&sb, "%-18s", l.label)
+		for _, on := range l.cells {
+			if on {
+				sb.WriteRune('█')
+			} else {
+				sb.WriteRune('·')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, l := range lanes {
+		render(l)
+	}
+	for _, name := range opNames {
+		render(opLanes[name])
+	}
+	return sb.String()
+}

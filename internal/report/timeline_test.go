@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTimelineLanes(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 100, Name: "python"},
+		{Kind: trace.KindCPU, Cat: trace.CatBackend, Start: 20, End: 60, Name: "run"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: 50, End: 90, Name: "k"},
+		{Kind: trace.KindOp, Start: 0, End: 50, Name: "inference"},
+	}
+	out := Timeline(events, 0, 100, 50)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // header + 5 tiers + 1 op
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), out)
+	}
+	find := func(label string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, label) {
+				return l
+			}
+		}
+		t.Fatalf("lane %q missing:\n%s", label, out)
+		return ""
+	}
+	py := find("Python")
+	if !strings.Contains(py, "█") {
+		t.Fatal("python lane empty")
+	}
+	// Full-span python: no idle dots.
+	if strings.Contains(strings.TrimPrefix(py, "Python"), "·") {
+		t.Fatalf("python lane should be fully busy: %s", py)
+	}
+	gpuLane := find("GPU")
+	// GPU busy in second half only: first cell idle, last busy.
+	cells := []rune(strings.TrimSpace(strings.TrimPrefix(gpuLane, "GPU")))
+	if cells[0] != '·' || cells[len(cells)-1] != '·' && cells[len(cells)-6] != '█' {
+		t.Fatalf("gpu lane shape wrong: %s", gpuLane)
+	}
+	find("[inference]")
+}
+
+func TestTimelineClipsToWindow(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 1000, Name: "python"},
+	}
+	out := Timeline(events, 400, 600, 20)
+	if !strings.Contains(out, "timeline") {
+		t.Fatal("missing header")
+	}
+	// Events entirely outside the window leave lanes idle.
+	out2 := Timeline(events, 2000, 3000, 20)
+	if strings.Contains(strings.SplitN(out2, "\n", 2)[1], "█") {
+		t.Fatal("out-of-window event painted")
+	}
+}
+
+func TestTimelineZeroWindow(t *testing.T) {
+	if got := Timeline(nil, 5, 5, 10); got != "" {
+		t.Fatalf("zero window = %q", got)
+	}
+}
+
+func TestTimelineSubColumnEventVisible(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: 500, End: 501, Name: "tiny"},
+	}
+	out := Timeline(events, 0, 10000, 40)
+	if !strings.Contains(out, "█") {
+		t.Fatal("sub-column kernel invisible")
+	}
+}

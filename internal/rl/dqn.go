@@ -1,0 +1,159 @@
+package rl
+
+import (
+	"math/rand"
+
+	"repro/internal/backend"
+	"repro/internal/nn"
+)
+
+// DQN is the deep Q-network algorithm (Mnih et al. 2015) the paper uses as
+// its running example (§2.1): ε-greedy inference, experience replay, and
+// Huber-loss Q-learning against a periodically synchronized target network.
+type DQN struct {
+	cfg Config
+	b   *backend.Backend
+	rng *rand.Rand
+
+	q, qTarget *backend.Network
+	opt        *nn.Adam
+	replay     *ReplayBuffer
+
+	steps       int
+	updates     int
+	warmup      int
+	targetEvery int
+	eps         float64
+	epsMin      float64
+	epsDecay    float64
+}
+
+// NewDQN builds a DQN agent for a discrete-action environment.
+func NewDQN(cfg Config) *DQN {
+	validateDims("DQN", cfg.ObsDim, cfg.ActDim)
+	if !cfg.Discrete {
+		panic("rl: DQN requires a discrete action space")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := cfg.sizes(cfg.ObsDim, cfg.ActDim)
+	q := backend.NewNetwork(rng, "q", sizes, nn.ReLU, nn.Identity)
+	qt := backend.NewNetwork(rng, "q_target", sizes, nn.ReLU, nn.Identity)
+	q.MLP.CopyTo(qt.MLP)
+	return &DQN{
+		cfg:         cfg,
+		b:           cfg.Backend,
+		rng:         rng,
+		q:           q,
+		qTarget:     qt,
+		opt:         nn.NewAdam(5e-4),
+		replay:      NewReplayBuffer(50_000, cfg.Seed+1),
+		warmup:      200,
+		targetEvery: 250,
+		eps:         1.0,
+		epsMin:      0.05,
+		epsDecay:    0.995,
+	}
+}
+
+// Name implements Agent.
+func (d *DQN) Name() string { return "DQN" }
+
+// OnPolicy implements Agent.
+func (d *DQN) OnPolicy() bool { return false }
+
+// CollectSteps implements Agent: DQN trains every 4 frames.
+func (d *DQN) CollectSteps() int {
+	if d.cfg.CollectStepsOverride > 0 {
+		return d.cfg.CollectStepsOverride
+	}
+	return 4
+}
+
+// UpdatesPerCollect implements Agent.
+func (d *DQN) UpdatesPerCollect() int {
+	if d.replay.Len() < d.warmup {
+		return 0
+	}
+	return 1
+}
+
+// Act implements Agent: ε-greedy over the Q network.
+func (d *DQN) Act(obs []float64) []float64 {
+	d.eps = maxf(d.epsMin, d.eps*d.epsDecay)
+	if d.rng.Float64() < d.eps {
+		return []float64{float64(d.rng.Intn(d.cfg.ActDim))}
+	}
+	x := obsTensor([][]float64{obs})
+	var qvals *nn.Tensor
+	d.b.Compute("dqn/predict", backend.KindInference, func(c *backend.Comp) {
+		c.Feed(x)
+		qvals = c.Forward(d.q, x)
+		c.Fetch(qvals)
+	})
+	return []float64{float64(qvals.ArgmaxRow(0))}
+}
+
+// NumEnvs implements Agent: DQN collects from a single environment.
+func (d *DQN) NumEnvs() int { return 1 }
+
+// ActBatch implements Agent.
+func (d *DQN) ActBatch(obs [][]float64) [][]float64 {
+	return [][]float64{d.Act(obs[0])}
+}
+
+// Observe implements Agent.
+func (d *DQN) Observe(_ int, t Transition) {
+	d.replay.Add(t)
+	d.steps++
+}
+
+// Update implements Agent: one Huber-loss Q update on a sampled minibatch.
+func (d *DQN) Update() {
+	batchSize := d.cfg.batch()
+	// Minibatch assembly happens in high-level code.
+	d.b.Session().Python(pythonMinibatchCost(batchSize))
+	batch := d.replay.Sample(batchSize)
+
+	obs := make([][]float64, batchSize)
+	next := make([][]float64, batchSize)
+	for i, t := range batch {
+		obs[i] = t.Obs
+		next[i] = t.Next
+	}
+	x := obsTensor(obs)
+	xn := obsTensor(next)
+
+	d.b.Compute("dqn/train_step", backend.KindBackprop, func(c *backend.Comp) {
+		c.Feed(x)
+		c.Feed(xn)
+		c.ZeroGrad(d.q)
+		// Target values from the frozen network.
+		qNext := c.Forward(d.qTarget, xn)
+		pred := c.Forward(d.q, x)
+		var grad *nn.Tensor
+		c.HostLoss("dqn/huber", func() {
+			target := pred.Clone()
+			for i, t := range batch {
+				y := t.Reward
+				if !t.Done {
+					y += 0.99 * qNext.Row(i)[qNext.ArgmaxRow(i)]
+				}
+				target.Set(i, int(t.Act[0]), y)
+			}
+			_, grad = nn.HuberLoss(pred, target)
+		})
+		c.Backward(d.q, grad)
+		c.AdamStepFused(d.q, d.opt)
+		if d.updates%d.targetEvery == 0 {
+			c.HardUpdate(d.q, d.qTarget)
+		}
+	})
+	d.updates++
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

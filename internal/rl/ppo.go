@@ -1,0 +1,308 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/backend"
+	"repro/internal/nn"
+)
+
+// PPO2 is proximal policy optimization with a clipped surrogate objective,
+// stable-baselines' PPO2 implementation: long vectorized rollouts followed
+// by several epochs of minibatch updates. Between A2C's tiny rollouts and
+// the off-policy algorithms' per-step updates, PPO2 lands in the middle of
+// Figure 5's simulation-bound spectrum (46.3% simulation).
+type PPO2 struct {
+	cfg Config
+	b   *backend.Backend
+	rng *rand.Rand
+
+	policy *backend.Network
+	value  *backend.Network
+	opt    *nn.Adam
+
+	logStd   float64
+	nEnvs    int
+	rollouts []Rollout
+
+	pendingValues []float64
+	pendingLogps  []float64
+	bootObs       [][]float64
+
+	gamma, lambda, clip, entCoef float64
+	epochs, minibatch            int
+}
+
+// ppoNumEnvs is the vectorization PPO2 collects with on continuous-control
+// tasks; ppoAtariEnvs/ppoAtariEpochs are the Atari-zoo tuning for discrete
+// tasks — more parallel emulators and fewer optimization epochs, the
+// "small number of gradient updates compared to the number of simulator
+// invocations" behind Pong's 74.2% simulation share (paper Appendix B.1).
+const (
+	ppoNumEnvs     = 4
+	ppoAtariEnvs   = 8
+	ppoAtariEpochs = 2
+)
+
+// NewPPO2 builds a PPO2 agent (discrete or continuous).
+func NewPPO2(cfg Config) *PPO2 {
+	validateDims("PPO2", cfg.ObsDim, cfg.ActDim)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &PPO2{
+		cfg:           cfg,
+		b:             cfg.Backend,
+		rng:           rng,
+		policy:        backend.NewNetwork(rng, "policy", cfg.sizes(cfg.ObsDim, cfg.ActDim), nn.Tanh, nn.Identity),
+		value:         backend.NewNetwork(rng, "value", cfg.sizes(cfg.ObsDim, 1), nn.Tanh, nn.Identity),
+		opt:           nn.NewAdam(3e-4),
+		logStd:        math.Log(0.5),
+		nEnvs:         ppoNumEnvs,
+		rollouts:      make([]Rollout, ppoNumEnvs),
+		pendingValues: make([]float64, ppoNumEnvs),
+		pendingLogps:  make([]float64, ppoNumEnvs),
+		bootObs:       make([][]float64, ppoNumEnvs),
+		gamma:         0.99,
+		lambda:        0.95,
+		clip:          0.2,
+		entCoef:       0.0,
+		epochs:        4,
+		minibatch:     64,
+	}
+	if cfg.Discrete {
+		p.nEnvs = ppoAtariEnvs
+		p.epochs = ppoAtariEpochs
+		p.rollouts = make([]Rollout, p.nEnvs)
+		p.pendingValues = make([]float64, p.nEnvs)
+		p.pendingLogps = make([]float64, p.nEnvs)
+		p.bootObs = make([][]float64, p.nEnvs)
+	}
+	return p
+}
+
+// Name implements Agent.
+func (p *PPO2) Name() string { return "PPO2" }
+
+// OnPolicy implements Agent.
+func (p *PPO2) OnPolicy() bool { return true }
+
+// NumEnvs implements Agent.
+func (p *PPO2) NumEnvs() int { return p.nEnvs }
+
+// CollectSteps implements Agent: n_steps=128 per env.
+func (p *PPO2) CollectSteps() int {
+	if p.cfg.CollectStepsOverride > 0 {
+		return p.cfg.CollectStepsOverride
+	}
+	return 128
+}
+
+// UpdatesPerCollect implements Agent: one update pass (internally several
+// epochs of minibatches) consumes the rollout.
+func (p *PPO2) UpdatesPerCollect() int { return 1 }
+
+// ActBatch implements Agent.
+func (p *PPO2) ActBatch(obs [][]float64) [][]float64 {
+	x := obsTensor(obs)
+	var out, val *nn.Tensor
+	p.b.Compute("ppo/predict", backend.KindInference, func(c *backend.Comp) {
+		c.Feed(x)
+		out = c.Forward(p.policy, x)
+		val = c.Forward(p.value, x)
+		c.Fetch(out)
+		c.Fetch(val)
+	})
+	acts := make([][]float64, len(obs))
+	for e := range obs {
+		p.pendingValues[e] = val.At(e, 0)
+		acts[e], p.pendingLogps[e] = p.sample(out, e)
+	}
+	return acts
+}
+
+func (p *PPO2) sample(out *nn.Tensor, e int) ([]float64, float64) {
+	if p.cfg.Discrete {
+		probs := nn.Softmax(out)
+		act := sampleCategorical(p.rng, probs.Row(e))
+		return []float64{float64(act)}, math.Log(probs.At(e, act) + 1e-12)
+	}
+	mean := out.Row(e)
+	std := math.Exp(p.logStd)
+	act := make([]float64, len(mean))
+	var logp float64
+	const log2pi = 1.8378770664093453
+	for i, m := range mean {
+		act[i] = m + std*p.rng.NormFloat64()
+		z := (act[i] - m) / std
+		logp += -0.5*z*z - p.logStd - 0.5*log2pi
+		// Clip to the action space, as stable-baselines' VecEnv does
+		// before stepping the simulator.
+		act[i] = clipf(act[i], 1)
+	}
+	return act, logp
+}
+
+// Observe implements Agent.
+func (p *PPO2) Observe(env int, t Transition) {
+	p.rollouts[env].Add(t.Obs, t.Act, t.Reward, t.Done, p.pendingValues[env], p.pendingLogps[env])
+	p.bootObs[env] = t.Next
+}
+
+// flatBatch is the concatenated rollout PPO2 optimizes over.
+type flatBatch struct {
+	obs   [][]float64
+	acts  [][]float64
+	logps []float64
+	adv   []float64
+	ret   []float64
+}
+
+// Update implements Agent: GAE, then epochs × minibatches of clipped
+// surrogate updates.
+func (p *PPO2) Update() {
+	total := 0
+	for e := range p.rollouts {
+		total += p.rollouts[e].Len()
+	}
+	if total == 0 {
+		return
+	}
+	xBoot := obsTensor(p.bootObs)
+	var bootVal *nn.Tensor
+	p.b.Compute("ppo/bootstrap", backend.KindInference, func(c *backend.Comp) {
+		c.Feed(xBoot)
+		bootVal = c.Forward(p.value, xBoot)
+		c.Fetch(bootVal)
+	})
+
+	var fb flatBatch
+	for e := range p.rollouts {
+		ro := &p.rollouts[e]
+		n := ro.Len()
+		if n == 0 {
+			continue
+		}
+		if ro.Dones[n-1] {
+			ro.LastValue = 0
+		} else {
+			ro.LastValue = bootVal.At(e, 0)
+		}
+		adv, ret := ro.GAE(p.gamma, p.lambda)
+		fb.obs = append(fb.obs, ro.Obs...)
+		fb.acts = append(fb.acts, ro.Acts...)
+		fb.logps = append(fb.logps, ro.LogPs...)
+		fb.adv = append(fb.adv, adv...)
+		fb.ret = append(fb.ret, ret...)
+	}
+	NormalizeAdvantages(fb.adv)
+
+	idx := make([]int, total)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < p.epochs; epoch++ {
+		p.rng.Shuffle(total, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < total; lo += p.minibatch {
+			hi := lo + p.minibatch
+			if hi > total {
+				hi = total
+			}
+			p.updateMinibatch(&fb, idx[lo:hi])
+		}
+	}
+	for e := range p.rollouts {
+		p.rollouts[e].Reset()
+	}
+}
+
+func (p *PPO2) updateMinibatch(fb *flatBatch, idx []int) {
+	m := len(idx)
+	obs := make([][]float64, m)
+	for i, id := range idx {
+		obs[i] = fb.obs[id]
+	}
+	x := obsTensor(obs)
+	p.b.Session().Python(pythonMinibatchCost(m))
+	p.b.Compute("ppo/train_step", backend.KindBackprop, func(c *backend.Comp) {
+		c.Feed(x)
+		c.ZeroGrad(p.policy)
+		c.ZeroGrad(p.value)
+		out := c.Forward(p.policy, x)
+		var pgrad *nn.Tensor
+		c.HostLoss("ppo/clip_loss", func() {
+			pgrad = p.clippedGrad(out, fb, idx)
+		})
+		c.Backward(p.policy, pgrad)
+
+		pred := c.Forward(p.value, x)
+		var vgrad *nn.Tensor
+		c.HostLoss("ppo/value_loss", func() {
+			target := nn.NewTensor(m, 1)
+			for i, id := range idx {
+				target.Set(i, 0, fb.ret[id])
+			}
+			_, vgrad = nn.MSELoss(pred, target)
+			vgrad.Scale(0.5)
+		})
+		c.Backward(p.value, vgrad)
+
+		c.HostLoss("ppo/clip_grads", func() {
+			nn.ClipGradByGlobalNorm(append(p.policy.MLP.Params(), p.value.MLP.Params()...), 0.5)
+		})
+		c.AdamStepFused(p.policy, p.opt)
+		c.AdamStepFused(p.value, p.opt)
+	})
+}
+
+// clippedGrad computes dL/d(policy output) for the clipped surrogate.
+func (p *PPO2) clippedGrad(out *nn.Tensor, fb *flatBatch, idx []int) *nn.Tensor {
+	m := len(idx)
+	grad := nn.NewTensor(m, p.cfg.ActDim)
+	if p.cfg.Discrete {
+		logp := nn.LogSoftmax(out)
+		probs := nn.Softmax(out)
+		for i, id := range idx {
+			a := int(fb.acts[id][0])
+			ratio := math.Exp(logp.At(i, a) - fb.logps[id])
+			if clippedOut(ratio, fb.adv[id], p.clip) {
+				continue
+			}
+			// d(−ratio·A)/dlogit_j = −A·ratio·(1[j=a] − p_j)
+			for j := 0; j < p.cfg.ActDim; j++ {
+				ind := 0.0
+				if j == a {
+					ind = 1
+				}
+				grad.Set(i, j, -fb.adv[id]*ratio*(ind-probs.At(i, j))/float64(m))
+			}
+		}
+		return grad
+	}
+	sigma2 := math.Exp(2 * p.logStd)
+	const log2pi = 1.8378770664093453
+	for i, id := range idx {
+		var logp float64
+		for j := 0; j < p.cfg.ActDim; j++ {
+			z := (fb.acts[id][j] - out.At(i, j)) / math.Exp(p.logStd)
+			logp += -0.5*z*z - p.logStd - 0.5*log2pi
+		}
+		ratio := math.Exp(logp - fb.logps[id])
+		if clippedOut(ratio, fb.adv[id], p.clip) {
+			continue
+		}
+		// d(−ratio·A)/dmean_j = −A·ratio·(a_j−mean_j)/σ²
+		for j := 0; j < p.cfg.ActDim; j++ {
+			grad.Set(i, j, -fb.adv[id]*ratio*(fb.acts[id][j]-out.At(i, j))/sigma2/float64(m))
+		}
+	}
+	return grad
+}
+
+// clippedOut reports whether the clipped branch of the PPO objective is
+// active (gradient zero).
+func clippedOut(ratio, adv, clip float64) bool {
+	if adv >= 0 {
+		return ratio > 1+clip
+	}
+	return ratio < 1-clip
+}

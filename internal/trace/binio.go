@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace chunk format (paper Appendix A.1 uses protobuf; this repo is
+// stdlib-only so we use a compact hand-rolled encoding):
+//
+//	magic   "RLSC"          (4 bytes)
+//	version uvarint         (currently 1)
+//	count   uvarint         (number of events)
+//	events  count records
+//
+// Each event record:
+//
+//	kind     byte
+//	cat      byte
+//	overhead byte
+//	proc     uvarint
+//	start    varint (delta from previous event's start; first is absolute)
+//	dur      uvarint (End-Start)
+//	name     uvarint string-table reference
+//
+// The string table is built incrementally per chunk: a reference equal to the
+// current table size introduces a new string (uvarint length + bytes);
+// smaller references reuse an earlier string. Operation and kernel names
+// repeat heavily, so this keeps chunks small.
+
+const (
+	chunkMagic   = "RLSC"
+	chunkVersion = 1
+)
+
+// EncodeChunk writes events as one binary chunk to w.
+func EncodeChunk(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(chunkMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putUvarint(chunkVersion); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(events))); err != nil {
+		return err
+	}
+	strings := map[string]uint64{}
+	var prevStart int64
+	for _, e := range events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(e.Cat)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(e.Overhead)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.Proc)); err != nil {
+			return err
+		}
+		if err := putVarint(int64(e.Start) - prevStart); err != nil {
+			return err
+		}
+		prevStart = int64(e.Start)
+		if e.End < e.Start {
+			return fmt.Errorf("trace: encode: event %q has negative duration", e.Name)
+		}
+		if err := putUvarint(uint64(e.End - e.Start)); err != nil {
+			return err
+		}
+		ref, ok := strings[e.Name]
+		if !ok {
+			ref = uint64(len(strings))
+			strings[e.Name] = ref
+			if err := putUvarint(ref); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(len(e.Name))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(e.Name); err != nil {
+				return err
+			}
+		} else if err := putUvarint(ref); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeChunk reads one binary chunk from r, appending its events to dst and
+// returning the extended slice.
+func DecodeChunk(r io.Reader, dst []Event) ([]Event, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(chunkMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return dst, fmt.Errorf("trace: decode: reading magic: %w", err)
+	}
+	if string(magic) != chunkMagic {
+		return dst, fmt.Errorf("trace: decode: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return dst, fmt.Errorf("trace: decode: reading version: %w", err)
+	}
+	if version != chunkVersion {
+		return dst, fmt.Errorf("trace: decode: unsupported version %d", version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return dst, fmt.Errorf("trace: decode: reading count: %w", err)
+	}
+	var table []string
+	var prevStart int64
+	for i := uint64(0); i < count; i++ {
+		var e Event
+		kind, err := br.ReadByte()
+		if err != nil {
+			return dst, fmt.Errorf("trace: decode: event %d kind: %w", i, err)
+		}
+		e.Kind = EventKind(kind)
+		cat, err := br.ReadByte()
+		if err != nil {
+			return dst, fmt.Errorf("trace: decode: event %d cat: %w", i, err)
+		}
+		e.Cat = Category(cat)
+		ov, err := br.ReadByte()
+		if err != nil {
+			return dst, fmt.Errorf("trace: decode: event %d overhead: %w", i, err)
+		}
+		e.Overhead = OverheadKind(ov)
+		proc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return dst, fmt.Errorf("trace: decode: event %d proc: %w", i, err)
+		}
+		e.Proc = ProcID(proc)
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return dst, fmt.Errorf("trace: decode: event %d start: %w", i, err)
+		}
+		prevStart += delta
+		e.Start = timeFromInt64(prevStart)
+		dur, err := binary.ReadUvarint(br)
+		if err != nil {
+			return dst, fmt.Errorf("trace: decode: event %d dur: %w", i, err)
+		}
+		e.End = e.Start.Add(durFromUint64(dur))
+		ref, err := binary.ReadUvarint(br)
+		if err != nil {
+			return dst, fmt.Errorf("trace: decode: event %d name ref: %w", i, err)
+		}
+		switch {
+		case ref < uint64(len(table)):
+			e.Name = table[ref]
+		case ref == uint64(len(table)):
+			slen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return dst, fmt.Errorf("trace: decode: event %d name len: %w", i, err)
+			}
+			const maxName = 1 << 16
+			if slen > maxName {
+				return dst, fmt.Errorf("trace: decode: event %d name length %d exceeds limit", i, slen)
+			}
+			buf := make([]byte, slen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return dst, fmt.Errorf("trace: decode: event %d name bytes: %w", i, err)
+			}
+			e.Name = string(buf)
+			table = append(table, e.Name)
+		default:
+			return dst, fmt.Errorf("trace: decode: event %d references string %d beyond table size %d", i, ref, len(table))
+		}
+		dst = append(dst, e)
+	}
+	return dst, nil
+}

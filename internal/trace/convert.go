@@ -1,0 +1,7 @@
+package trace
+
+import "repro/internal/vclock"
+
+func timeFromInt64(v int64) vclock.Time { return vclock.Time(v) }
+
+func durFromUint64(v uint64) vclock.Duration { return vclock.Duration(v) }

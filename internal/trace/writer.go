@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultChunkBytes is the serialized-size threshold at which a buffered
+// chunk is handed to the background writer. The paper flushes at 20 MB
+// (Appendix A.1); the default here is smaller because simulated traces are
+// smaller, but the mechanism is identical.
+const DefaultChunkBytes = 1 << 20
+
+const (
+	chunkFilePattern = "chunk_%06d.rlstrace"
+	metaFileName     = "meta.json"
+)
+
+// Writer persists a trace to a directory as a sequence of binary chunk files
+// plus a JSON metadata file. Serialization and disk I/O happen on a
+// background goroutine so that trace collection stays off the training
+// critical path (paper Appendix A.1: traces are aggregated in librlscope.so
+// and dumped asynchronously).
+//
+// Writer methods are not safe for concurrent use by multiple goroutines;
+// each simulated process buffers its own events and the harness feeds them
+// to the writer sequentially.
+type Writer struct {
+	dir        string
+	chunkBytes int
+
+	mu      sync.Mutex
+	pending []Event
+	size    int
+	nchunks int
+
+	jobs    chan writeJob
+	done    chan struct{}
+	errOnce sync.Once
+	err     error
+	closed  bool
+}
+
+type writeJob struct {
+	path   string
+	events []Event
+}
+
+// NewWriter creates the directory (if needed) and returns a Writer flushing
+// chunks of approximately chunkBytes serialized bytes. chunkBytes <= 0 uses
+// DefaultChunkBytes.
+func NewWriter(dir string, chunkBytes int) (*Writer, error) {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: creating trace dir: %w", err)
+	}
+	w := &Writer{
+		dir:        dir,
+		chunkBytes: chunkBytes,
+		jobs:       make(chan writeJob, 16),
+		done:       make(chan struct{}),
+	}
+	go w.writeLoop()
+	return w, nil
+}
+
+func (w *Writer) writeLoop() {
+	defer close(w.done)
+	for job := range w.jobs {
+		var buf bytes.Buffer
+		if err := EncodeChunk(&buf, job.events); err != nil {
+			w.setErr(err)
+			continue
+		}
+		if err := os.WriteFile(job.path, buf.Bytes(), 0o644); err != nil {
+			w.setErr(err)
+		}
+	}
+}
+
+func (w *Writer) setErr(err error) {
+	w.errOnce.Do(func() { w.err = err })
+}
+
+// Append buffers events, flushing a chunk to the background writer when the
+// buffer passes the chunk-size threshold.
+func (w *Writer) Append(events ...Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range events {
+		w.pending = append(w.pending, e)
+		// Estimated serialized size: fixed fields plus name bytes. An
+		// estimate is fine; chunk boundaries are not semantic.
+		w.size += 16 + len(e.Name)
+	}
+	if w.size >= w.chunkBytes {
+		w.flushLocked()
+	}
+}
+
+func (w *Writer) flushLocked() {
+	if len(w.pending) == 0 {
+		return
+	}
+	path := filepath.Join(w.dir, fmt.Sprintf(chunkFilePattern, w.nchunks))
+	w.nchunks++
+	w.jobs <- writeJob{path: path, events: w.pending}
+	w.pending = nil
+	w.size = 0
+}
+
+// Close flushes remaining events, writes metadata, waits for the background
+// writer to finish, and reports the first error encountered, if any.
+func (w *Writer) Close(meta Meta) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("trace: writer already closed")
+	}
+	w.closed = true
+	w.flushLocked()
+	w.mu.Unlock()
+
+	close(w.jobs)
+	<-w.done
+
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: encoding metadata: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(w.dir, metaFileName), data, 0o644); err != nil {
+		return fmt.Errorf("trace: writing metadata: %w", err)
+	}
+	return w.err
+}
+
+// ChunksWritten reports how many chunk files have been scheduled so far.
+func (w *Writer) ChunksWritten() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nchunks
+}
+
+// ReadDir loads a trace previously written by Writer from dir.
+func ReadDir(dir string) (*Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading trace dir: %w", err)
+	}
+	var chunkNames []string
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".rlstrace") {
+			chunkNames = append(chunkNames, ent.Name())
+		}
+	}
+	sort.Strings(chunkNames)
+	t := &Trace{}
+	for _, name := range chunkNames {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening chunk %s: %w", name, err)
+		}
+		t.Events, err = DecodeChunk(f, t.Events)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace: decoding chunk %s: %w", name, err)
+		}
+	}
+	metaData, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading metadata: %w", err)
+	}
+	if err := json.Unmarshal(metaData, &t.Meta); err != nil {
+		return nil, fmt.Errorf("trace: decoding metadata: %w", err)
+	}
+	t.Sort()
+	return t, nil
+}

@@ -1,0 +1,142 @@
+// Package rlscope is the public API of the RL-Scope reproduction: a
+// cross-stack profiler for deep reinforcement learning workloads that
+// scopes low-level CPU/GPU resource usage to high-level algorithmic
+// operations and corrects for profiling overhead (Gleeson et al.,
+// MLSys 2021).
+//
+// # Profiling a workload
+//
+// Create a Profiler, open a Session per simulated process, annotate the
+// training loop with operations, and let the interception wrappers record
+// everything else:
+//
+//	p := rlscope.New(rlscope.Options{Workload: "my-agent", Flags: rlscope.FullInstrumentation()})
+//	sess := p.NewProcess("trainer", -1, 0)
+//	sess.SetPhase("training")
+//	sess.WithOperation("inference", func() { ... })
+//	sess.WithOperation("simulation", func() {
+//	        sess.CallSimulator("env.step", func() { ... })
+//	})
+//	sess.Close()
+//	tr := p.MustTrace()
+//
+// # Analysis
+//
+// Analyze computes the cross-stack event overlap per process — the
+// paper's §3.3 algorithm — attributing every interval of the critical path
+// to (operation, {CPU, GPU, CPU+GPU}, stack tier):
+//
+//	results := rlscope.Analyze(tr)
+//
+// # Overhead calibration and correction
+//
+// Calibrate measures the profiler's own book-keeping costs by re-running a
+// workload under feature subsets (delta calibration plus
+// difference-of-average calibration for per-CUDA-API CUPTI inflation), and
+// Correct subtracts them from a trace at the points where they occurred
+// (§3.4, Appendix C):
+//
+//	cal, err := rlscope.Calibrate(runner, seed)
+//	corrected := rlscope.Correct(tr, cal)
+//
+// The examples/ directory contains runnable programs; cmd/ contains the
+// rls-prof-style CLI tools; DESIGN.md maps every paper experiment to the
+// module that regenerates it.
+package rlscope
+
+import (
+	"repro/internal/calib"
+	"repro/internal/overlap"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Core profiler types.
+type (
+	// Profiler owns one profiled run across simulated processes.
+	Profiler = profiler.Profiler
+	// Session is the per-process recording context (annotations,
+	// interception wrappers, the CUDA-hook surface).
+	Session = profiler.Session
+	// Options configures a run (workload label, feature flags, seed).
+	Options = profiler.Options
+	// OverheadModel is the hidden true cost of each book-keeping path.
+	OverheadModel = profiler.OverheadModel
+	// Op is an open operation annotation.
+	Op = profiler.Op
+)
+
+// Trace types.
+type (
+	// Trace is a collected event trace.
+	Trace = trace.Trace
+	// Event is one trace record.
+	Event = trace.Event
+	// FeatureFlags selects which book-keeping paths are enabled.
+	FeatureFlags = trace.FeatureFlags
+	// ProcID identifies a simulated process.
+	ProcID = trace.ProcID
+)
+
+// Analysis types.
+type (
+	// Result is one process's cross-stack overlap breakdown.
+	Result = overlap.Result
+	// Calibration holds calibrated book-keeping costs.
+	Calibration = calib.Calibration
+	// RunStats is what one run exposes to calibration.
+	RunStats = calib.RunStats
+	// Runner executes a workload under given flags for calibration.
+	Runner = calib.Runner
+	// ValidationResult reports correction accuracy for one workload.
+	ValidationResult = calib.ValidationResult
+)
+
+// Time types (virtual time; see DESIGN.md for why the clock is simulated).
+type (
+	// Time is a point in virtual time.
+	Time = vclock.Time
+	// Duration is a span of virtual time.
+	Duration = vclock.Duration
+)
+
+// New creates a profiler for one run.
+func New(opts Options) *Profiler { return profiler.New(opts) }
+
+// FullInstrumentation returns flags with every book-keeping path enabled —
+// a normal profiled run.
+func FullInstrumentation() FeatureFlags { return trace.Full() }
+
+// Uninstrumented returns flags with all book-keeping disabled — the
+// baseline configuration calibration compares against.
+func Uninstrumented() FeatureFlags { return trace.Uninstrumented() }
+
+// DefaultOverheads returns the standard book-keeping cost model.
+func DefaultOverheads() OverheadModel { return profiler.DefaultOverheads() }
+
+// Analyze runs the cross-stack overlap computation for every process in
+// the trace (paper §3.3).
+func Analyze(t *Trace) map[ProcID]*Result { return overlap.ComputeTrace(t) }
+
+// AnalyzeProcess runs the overlap computation for one process.
+func AnalyzeProcess(t *Trace, p ProcID) *Result { return overlap.Compute(t.ProcEvents(p)) }
+
+// Calibrate measures the mean cost of each profiler book-keeping path by
+// re-running the workload under feature subsets (paper Appendix C).
+func Calibrate(run Runner, seed int64) (*Calibration, error) { return calib.Calibrate(run, seed) }
+
+// Correct subtracts calibrated overhead from a trace at the precise points
+// where book-keeping occurred (paper §3.4).
+func Correct(t *Trace, cal *Calibration) *Trace { return calib.Correct(t, cal) }
+
+// Validate measures correction accuracy for a workload: calibrate, run
+// uninstrumented and instrumented, correct, compare (paper Figure 11).
+func Validate(workload string, run Runner, calibSeed, validateSeed int64) (*ValidationResult, error) {
+	return calib.Validate(workload, run, calibSeed, validateSeed)
+}
+
+// StatsFromTrace derives calibration inputs from a collected trace.
+func StatsFromTrace(t *Trace, flags FeatureFlags, counts map[trace.OverheadKind]int, total Duration) *RunStats {
+	return calib.StatsFromTrace(t, flags, counts, total)
+}
