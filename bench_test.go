@@ -8,7 +8,9 @@ package rlscope
 // of the whole evaluation.
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/backend"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/experiments"
 	"repro/internal/gpu"
+	"repro/internal/minigo"
 	"repro/internal/overlap"
 	"repro/internal/profiler"
 	"repro/internal/trace"
@@ -331,6 +334,40 @@ func BenchmarkExtensionMinigoScaling(b *testing.B) {
 		}
 		b.ReportMetric(100*r.Point(16).SampledUtil, "16-worker-sampled-util-%")
 		b.ReportMetric(100*r.Point(16).WorkerGPUFrac, "per-worker-gpu-%")
+	}
+}
+
+// parallelBenchTrace builds the multi-process Minigo-scale trace the
+// parallel-analysis benchmarks analyze: the paper's 16 self-play workers
+// plus the trainer, each with training phases, giving 17 processes' worth
+// of (process, phase) shards. Built once and pre-sorted so every variant
+// measures pure analysis.
+var parallelBenchTrace = sync.OnceValues(func() (*trace.Trace, error) {
+	res, err := minigo.Run(minigo.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	res.Trace.Sort()
+	return res.Trace, nil
+})
+
+// BenchmarkParallelAnalysis measures the sharded analysis engine's scaling:
+// the same trace analyzed with 1/2/4/8 workers. workers=1 is the sequential
+// baseline Analyze delegates to.
+func BenchmarkParallelAnalysis(b *testing.B) {
+	tr, err := parallelBenchTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r := AnalyzeParallel(tr, AnalysisOptions{Workers: workers}); len(r) == 0 {
+					b.Fatal("empty analysis")
+				}
+			}
+			b.ReportMetric(float64(len(tr.Events)), "events")
+		})
 	}
 }
 

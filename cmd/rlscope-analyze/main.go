@@ -1,10 +1,12 @@
 // Command rlscope-analyze performs RL-Scope's offline analysis on a trace
 // directory previously written by rlscope-prof: the cross-stack overlap
-// breakdown per process, with optional overhead correction.
+// breakdown per process, with optional overhead correction. The overlap
+// computation fans (process, phase) shards out over a worker pool sized by
+// -workers; results are identical for every pool size.
 //
 // Usage:
 //
-//	rlscope-analyze -trace /tmp/trace
+//	rlscope-analyze -trace /tmp/trace [-workers N]
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/overlap"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -25,6 +28,7 @@ func main() {
 		summary  = flag.Bool("summary", false, "print trace statistics (event counts, top kernels)")
 		timeline = flag.Bool("timeline", false, "render an ASCII timeline of process 0")
 		tree     = flag.Bool("tree", false, "render the multi-process fork tree (Figure 8 style)")
+		workers  = flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -49,7 +53,7 @@ func main() {
 		fmt.Println()
 	}
 
-	results := overlap.ComputeTrace(tr)
+	results := analysis.Run(tr, analysis.Options{Workers: *workers})
 	if *tree {
 		fmt.Print(report.ProcessTree(tr, results))
 		fmt.Println()

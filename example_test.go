@@ -1,0 +1,141 @@
+package rlscope_test
+
+import (
+	"fmt"
+
+	rlscope "repro"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// ExampleNew profiles a miniature training loop: annotate the high-level
+// operations, let the interception wrappers record simulator/backend/CUDA
+// activity, and collect the trace.
+func ExampleNew() {
+	p := rlscope.New(rlscope.Options{
+		Workload: "example",
+		Flags:    rlscope.FullInstrumentation(),
+		Seed:     1,
+	})
+	dev := gpu.NewDevice(-1)
+	sess := p.NewProcess("trainer", -1, 0)
+	ctx := cuda.NewContext(sess, dev, cuda.DefaultCosts())
+
+	sess.SetPhase("training")
+	for step := 0; step < 10; step++ {
+		sess.WithOperation("inference", func() {
+			sess.CallBackend("policy.forward", func() {
+				ctx.LaunchKernel("dense", 3*vclock.Microsecond)
+				ctx.StreamSynchronize()
+			})
+		})
+		sess.WithOperation("simulation", func() {
+			sess.CallSimulator("env.step", func() {
+				sess.Clock().Advance(120 * vclock.Microsecond)
+			})
+		})
+	}
+	sess.Close()
+
+	tr := p.MustTrace()
+	res := rlscope.Analyze(tr)[sess.Proc()]
+	// "(untracked)" is the profiler's own book-keeping time between
+	// operations — the overhead that Calibrate measures and Correct
+	// subtracts.
+	fmt.Println("operations:", res.OpNames())
+	fmt.Println("simulation slower than inference:",
+		res.OpTotal("simulation") > res.OpTotal("inference"))
+	fmt.Println("inference ran GPU kernels:", res.GPUTime("inference") > 0)
+	// Output:
+	// operations: [(untracked) inference simulation]
+	// simulation slower than inference: true
+	// inference ran GPU kernels: true
+}
+
+// ExampleAnalyze runs the cross-stack overlap computation over the paper's
+// Figure 3 worked example: an mcts_tree_search operation containing two
+// expand_leaf operations, each overlapping a GPU kernel.
+func ExampleAnalyze() {
+	ms := func(f float64) vclock.Time { return vclock.Time(f * float64(vclock.Millisecond)) }
+	tr := &rlscope.Trace{Events: []rlscope.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: ms(0), End: ms(3.74), Name: "python"},
+		{Kind: trace.KindOp, Start: ms(0), End: ms(3.74), Name: "mcts_tree_search"},
+		{Kind: trace.KindOp, Start: ms(0.75), End: ms(2.10), Name: "expand_leaf"},
+		{Kind: trace.KindOp, Start: ms(2.60), End: ms(3.74), Name: "expand_leaf"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(1.05), End: ms(1.90), Name: "expand"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(2.75), End: ms(3.60), Name: "expand"},
+	}}
+	res := rlscope.Analyze(tr)[0]
+	fmt.Println("CPU, mcts_tree_search:", res.CPUTime("mcts_tree_search")-res.GPUTime("mcts_tree_search"))
+	fmt.Println("GPU+CPU, expand_leaf: ", res.GPUTime("expand_leaf"))
+	// Output:
+	// CPU, mcts_tree_search: 1.25ms
+	// GPU+CPU, expand_leaf:  1.7ms
+}
+
+// ExampleAnalyzeParallel analyzes a multi-process trace on a worker pool.
+// Results are byte-identical to Analyze for every worker count.
+func ExampleAnalyzeParallel() {
+	p := rlscope.New(rlscope.Options{Workload: "parallel-example", Seed: 7})
+	for w := 0; w < 4; w++ {
+		sess := p.NewProcess(fmt.Sprintf("worker%d", w), -1, 0)
+		sess.SetPhase("selfplay")
+		for i := 0; i < 5; i++ {
+			sess.WithOperation("mcts", func() {
+				sess.Clock().Advance(vclock.Millisecond)
+			})
+		}
+		sess.Close()
+	}
+	tr := p.MustTrace()
+
+	results := rlscope.AnalyzeParallel(tr, rlscope.AnalysisOptions{Workers: 4})
+	fmt.Println("processes analyzed:", len(results))
+	fmt.Println("worker0 mcts time:  ", results[0].OpTotal("mcts"))
+	// Output:
+	// processes analyzed: 4
+	// worker0 mcts time:   5ms
+}
+
+// ExampleCalibrate measures the profiler's own book-keeping costs and
+// subtracts them from an instrumented trace (§3.4, Appendix C).
+func ExampleCalibrate() {
+	// A Runner replays the same workload under the feature-flag subsets
+	// calibration requests.
+	runner := rlscope.Runner(func(flags rlscope.FeatureFlags, seed int64) (*rlscope.RunStats, error) {
+		p := rlscope.New(rlscope.Options{Workload: "calib-example", Flags: flags, Seed: seed})
+		dev := gpu.NewDevice(-1)
+		sess := p.NewProcess("trainer", -1, 0)
+		ctx := cuda.NewContext(sess, dev, cuda.DefaultCosts())
+		for i := 0; i < 50; i++ {
+			sess.WithOperation("step", func() {
+				sess.CallBackend("train", func() {
+					ctx.LaunchKernel("k", 3*vclock.Microsecond)
+					ctx.StreamSynchronize()
+				})
+			})
+		}
+		sess.Close()
+		return rlscope.StatsFromTrace(p.MustTrace(), flags, p.OverheadCounts(), p.TotalTime()), nil
+	})
+
+	cal, err := rlscope.Calibrate(runner, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("interception cost calibrated:", cal.Interception > 0)
+	fmt.Println("CUDA hook cost calibrated:   ", cal.CUDAIntercept > 0)
+
+	// Correct an instrumented run: overhead is subtracted at the points
+	// where the book-keeping occurred, and the markers disappear.
+	stats, _ := runner(rlscope.FullInstrumentation(), 99)
+	corrected := rlscope.Correct(stats.Trace, cal)
+	fmt.Println("overhead markers removed:    ", corrected.CountKind(trace.KindOverhead) == 0)
+	// Output:
+	// interception cost calibrated: true
+	// CUDA hook cost calibrated:    true
+	// overhead markers removed:     true
+}

@@ -1,0 +1,80 @@
+// Package analysis is RL-Scope's sharded, concurrent offline-analysis
+// engine. The paper's overlap computation (§3.3) is embarrassingly parallel
+// across processes and training phases: the engine splits a trace into
+// per-(process, phase) shards (trace.Shards), fans the windowed overlap
+// sweep (overlap.ComputeWindow) out over a worker pool, and merges the
+// per-shard results back into per-process breakdowns.
+//
+// The merge is exact, not approximate: shards carry unclipped events and
+// the sweep restricts accumulation — never classification — to the shard
+// window, so every instant is attributed against the same event boundaries
+// the sequential sweep sees. Run therefore returns byte-identical results
+// for any worker count, including Workers: 1, which executes inline with no
+// goroutines at all.
+package analysis
+
+import (
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Options configures a parallel analysis.
+type Options struct {
+	// Workers is the number of concurrent shard workers. Zero or negative
+	// selects one worker per available CPU; 1 runs strictly sequentially.
+	Workers int
+}
+
+// Run computes the per-process cross-stack overlap breakdown of a trace by
+// fanning (process, phase) shards over a worker pool. The result is
+// identical to running overlap.Compute per process regardless of worker
+// count.
+func Run(t *trace.Trace, opts Options) map[trace.ProcID]*overlap.Result {
+	shards := t.Shards()
+	results := make([]*overlap.Result, len(shards))
+	ForEach(opts.Workers, len(shards), func(i int) error {
+		results[i] = overlap.ComputeWindow(shards[i].Events, shards[i].Lo, shards[i].Hi)
+		return nil
+	})
+
+	out := map[trace.ProcID]*overlap.Result{}
+	for _, p := range t.ProcIDs() {
+		out[p] = &overlap.Result{
+			ByKey:       map[overlap.Key]vclock.Duration{},
+			Transitions: map[overlap.TransitionKey]int{},
+		}
+	}
+	// Merge in shard order: commutative integer sums plus span extremes,
+	// so the outcome is independent of completion order anyway.
+	for i, sh := range shards {
+		mergeShard(out[sh.Proc], results[i])
+	}
+	return out
+}
+
+// mergeShard folds one shard result into the process accumulator. Span is
+// only merged from shards that saw interval events: ComputeWindow leaves
+// the span zeroed otherwise, and a process with no interval events must end
+// with a zero span exactly like sequential Compute.
+func mergeShard(dst, src *overlap.Result) {
+	for k, d := range src.ByKey {
+		dst.ByKey[k] += d
+	}
+	for k, n := range src.Transitions {
+		dst.Transitions[k] += n
+	}
+	if src.SpanStart == 0 && src.SpanEnd == 0 {
+		return // shard had no interval events
+	}
+	if dst.SpanStart == 0 && dst.SpanEnd == 0 {
+		dst.SpanStart, dst.SpanEnd = src.SpanStart, src.SpanEnd
+		return
+	}
+	if src.SpanStart < dst.SpanStart {
+		dst.SpanStart = src.SpanStart
+	}
+	if src.SpanEnd > dst.SpanEnd {
+		dst.SpanEnd = src.SpanEnd
+	}
+}

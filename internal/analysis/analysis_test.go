@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		var hits [57]int32
+		if err := ForEach(workers, len(hits), func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, n := range hits {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{2, 4, 8} {
+		err := ForEach(workers, 20, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 17:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dump renders a Result deterministically so byte-level comparison is
+// meaningful.
+func dump(r *overlap.Result) string {
+	var sb strings.Builder
+	keys := make([]overlap.Key, 0, len(r.ByKey))
+	for k := range r.ByKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Res != b.Res {
+			return a.Res < b.Res
+		}
+		return a.Cat < b.Cat
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s|%d|%d=%d\n", k.Op, k.Res, k.Cat, r.ByKey[k])
+	}
+	tkeys := make([]overlap.TransitionKey, 0, len(r.Transitions))
+	for k := range r.Transitions {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i].Op != tkeys[j].Op {
+			return tkeys[i].Op < tkeys[j].Op
+		}
+		return tkeys[i].Label < tkeys[j].Label
+	})
+	for _, k := range tkeys {
+		fmt.Fprintf(&sb, "trans:%s|%s=%d\n", k.Op, k.Label, r.Transitions[k])
+	}
+	fmt.Fprintf(&sb, "span=[%d,%d]\n", r.SpanStart, r.SpanEnd)
+	return sb.String()
+}
+
+// dumpAll renders a per-process result map deterministically.
+func dumpAll(m map[trace.ProcID]*overlap.Result) string {
+	procs := make([]trace.ProcID, 0, len(m))
+	for p := range m {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	var sb strings.Builder
+	for _, p := range procs {
+		fmt.Fprintf(&sb, "== proc %d ==\n%s", p, dump(m[p]))
+	}
+	return sb.String()
+}
+
+// randomTrace generates an adversarial trace: overlapping phases, events
+// spanning phase boundaries, point markers on exact boundaries, processes
+// without phases, processes with only markers.
+func randomTrace(rng *rand.Rand) *trace.Trace {
+	tr := &trace.Trace{Meta: trace.Meta{Workload: "random", Procs: map[trace.ProcID]trace.ProcInfo{}}}
+	procs := 1 + rng.Intn(4)
+	ops := []string{"inference", "simulation", "backpropagation", "mcts"}
+	cpuCats := []trace.Category{trace.CatPython, trace.CatSimulator, trace.CatBackend, trace.CatCUDA}
+	gpuCats := []trace.Category{trace.CatGPUKernel, trace.CatGPUMemcpy}
+	labels := []string{trace.TransPythonToBackend, trace.TransPythonToSimulator, trace.TransBackendToCUDA}
+	for p := 0; p < procs; p++ {
+		pid := trace.ProcID(p)
+		tr.Meta.Procs[pid] = trace.ProcInfo{Name: fmt.Sprintf("proc%d", p), Parent: -1}
+		n := 50 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			start := vclock.Time(rng.Intn(100_000))
+			width := vclock.Time(rng.Intn(5_000))
+			e := trace.Event{Proc: pid, Start: start, End: start + width}
+			switch rng.Intn(10) {
+			case 0, 1:
+				e.Kind = trace.KindOp
+				e.Name = ops[rng.Intn(len(ops))]
+			case 2:
+				e.Kind = trace.KindPhase
+				e.Name = fmt.Sprintf("phase%d", rng.Intn(3))
+			case 3:
+				e.Kind = trace.KindTransition
+				e.Name = labels[rng.Intn(len(labels))]
+				e.End = e.Start
+			case 4, 5, 6:
+				e.Kind = trace.KindGPU
+				e.Cat = gpuCats[rng.Intn(len(gpuCats))]
+				e.Name = "kernel"
+			default:
+				e.Kind = trace.KindCPU
+				e.Cat = cpuCats[rng.Intn(len(cpuCats))]
+			}
+			tr.Events = append(tr.Events, e)
+		}
+	}
+	return tr
+}
+
+// TestRunMatchesSequential is the merge-path property test: for randomized
+// multi-process traces, Run with any worker count must be byte-identical to
+// the sequential per-process sweep.
+func TestRunMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := randomTrace(rand.New(rand.NewSource(seed)))
+		want := dumpAll(overlap.ComputeTrace(tr))
+		for workers := 1; workers <= 8; workers++ {
+			got := dumpAll(Run(tr, Options{Workers: workers}))
+			if got != want {
+				t.Fatalf("seed %d workers %d: parallel result diverges from sequential\ngot:\n%s\nwant:\n%s",
+					seed, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestShardsPartitionTimeline checks the shard invariants Run relies on:
+// per-process windows partition (-inf, +inf) and every event lands in at
+// least one shard.
+func TestShardsPartitionTimeline(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(42)))
+	shards := tr.Shards()
+	byProc := map[trace.ProcID][]trace.Shard{}
+	counted := 0
+	for _, sh := range shards {
+		byProc[sh.Proc] = append(byProc[sh.Proc], sh)
+		counted += len(sh.Events)
+	}
+	if counted < len(tr.Events) {
+		t.Fatalf("shards hold %d event references for %d events: some event is in no shard", counted, len(tr.Events))
+	}
+	// Empty windows are dropped, so kept windows may have gaps — but they
+	// must never overlap (an event instant counted twice would break the
+	// exact merge).
+	for p, list := range byProc {
+		sort.Slice(list, func(i, j int) bool { return list[i].Lo < list[j].Lo })
+		for i := 1; i < len(list); i++ {
+			if list[i].Lo < list[i-1].Hi {
+				t.Fatalf("proc %d: windows %d and %d overlap", p, i-1, i)
+			}
+		}
+	}
+}
+
+// TestShardPhaseLabels checks that shards carry the phase names their
+// windows fall inside — the (process, phase) identity tools use to label
+// parallel work.
+func TestShardPhaseLabels(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{
+		{Proc: 0, Kind: trace.KindPhase, Name: "collect", Start: 0, End: 100},
+		{Proc: 0, Kind: trace.KindPhase, Name: "train", Start: 100, End: 250},
+		{Proc: 0, Kind: trace.KindCPU, Cat: trace.CatPython, Start: 10, End: 240},
+		{Proc: 0, Kind: trace.KindCPU, Cat: trace.CatPython, Start: 260, End: 300},
+	}}
+	want := map[string]bool{"collect": false, "train": false, "": false}
+	for _, sh := range tr.Shards() {
+		seen, known := want[sh.Phase]
+		if !known {
+			t.Fatalf("unexpected shard phase %q", sh.Phase)
+		}
+		if seen {
+			t.Fatalf("phase %q produced more than one shard", sh.Phase)
+		}
+		want[sh.Phase] = true
+		switch sh.Phase {
+		case "collect":
+			if sh.Lo != 0 || sh.Hi != 100 {
+				t.Fatalf("collect window [%d,%d)", sh.Lo, sh.Hi)
+			}
+		case "train":
+			if sh.Lo != 100 || sh.Hi != 250 {
+				t.Fatalf("train window [%d,%d)", sh.Lo, sh.Hi)
+			}
+		case "":
+			// The post-phase tail: the second CPU event at [260, 300).
+			if sh.Lo != 250 || sh.Hi != vclock.MaxTime {
+				t.Fatalf("tail window [%d,%d)", sh.Lo, sh.Hi)
+			}
+		}
+	}
+	for phase, seen := range want {
+		if !seen {
+			t.Fatalf("no shard for phase %q", phase)
+		}
+	}
+}
+
+// TestRunEmptyTrace mirrors sequential behavior on a trace with no events.
+func TestRunEmptyTrace(t *testing.T) {
+	if got := Run(&trace.Trace{}, Options{Workers: 4}); len(got) != 0 {
+		t.Fatalf("empty trace produced %d results", len(got))
+	}
+}

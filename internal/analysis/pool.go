@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool size selected by Workers <= 0: one worker per
+// available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(0), …, fn(n-1) across a pool of workers and returns the
+// lowest-index error, or nil. workers <= 0 selects DefaultWorkers; a pool
+// of one runs inline with no goroutines, so single-worker execution is
+// strictly sequential. Dispatch is fail-fast: once any job errors, no
+// further index is dispatched; every dispatched job (at most one of which
+// may still be queued at that point) runs to completion. Dispatched jobs
+// always executing is what keeps the returned error deterministic:
+// indices dispatch in order, so the lowest failing index is always
+// dispatched, always runs, and always wins — skipping queued work instead
+// would let a later, faster failure race it out of the error slot.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

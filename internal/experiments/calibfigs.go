@@ -31,14 +31,14 @@ type Figure9Result struct {
 }
 
 // Figure9 reproduces the delta-calibration example (paper Figure 9 /
-// Appendix C.1).
+// Appendix C.1). The two feature-flag replays are independent and run
+// concurrently.
 func Figure9(opts Options) (*Figure9Result, error) {
 	run := workloads.Runner(calibSpec(opts))
-	base, err := run(trace.Uninstrumented(), opts.Seed+11)
-	if err != nil {
-		return nil, err
-	}
-	hooked, err := run(trace.FeatureFlags{CUDAIntercept: true}, opts.Seed+11)
+	base, hooked, err := runPair(
+		func() (*calib.RunStats, error) { return run(trace.Uninstrumented(), opts.Seed+11) },
+		func() (*calib.RunStats, error) { return run(trace.FeatureFlags{CUDAIntercept: true}, opts.Seed+11) },
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -87,11 +87,12 @@ type Figure10Result struct {
 // without CUPTI enabled.
 func Figure10(opts Options) (*Figure10Result, error) {
 	run := workloads.Runner(calibSpec(opts))
-	without, err := run(trace.FeatureFlags{CUDAIntercept: true}, opts.Seed+13)
-	if err != nil {
-		return nil, err
-	}
-	with, err := run(trace.FeatureFlags{CUDAIntercept: true, CUPTI: true}, opts.Seed+13)
+	without, with, err := runPair(
+		func() (*calib.RunStats, error) { return run(trace.FeatureFlags{CUDAIntercept: true}, opts.Seed+13) },
+		func() (*calib.RunStats, error) {
+			return run(trace.FeatureFlags{CUDAIntercept: true, CUPTI: true}, opts.Seed+13)
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -147,10 +148,17 @@ type Figure11Result struct {
 
 // Figure11 validates overhead correction: for each workload, calibrate,
 // run uninstrumented and fully instrumented, correct, and compare (paper
-// Figure 11 / Appendix C.3; the paper reports |bias| ≤ 16%).
+// Figure 11 / Appendix C.3; the paper reports |bias| ≤ 16%). The eight
+// workload validations — each a full calibrate/run/correct cycle — are the
+// most expensive harness in the repo and run concurrently on the pool.
 func Figure11(opts Options) (*Figure11Result, error) {
 	steps := opts.steps(400)
-	out := &Figure11Result{}
+	algos := []string{"PPO2", "A2C", "SAC", "DDPG"}
+	envs := []string{"Hopper", "Ant", "HalfCheetah", "Pong"}
+	out := &Figure11Result{
+		ByAlgorithm: make([]*calib.ValidationResult, len(algos)),
+		BySimulator: make([]*calib.ValidationResult, len(envs)),
+	}
 	validate := func(algo, env string) (*calib.ValidationResult, error) {
 		spec := workloads.Spec{
 			Algo: algo, Env: env, Model: backend.Graph, TotalSteps: steps,
@@ -158,19 +166,25 @@ func Figure11(opts Options) (*Figure11Result, error) {
 		return calib.Validate(fmt.Sprintf("(%s, %s)", algo, env),
 			workloads.Runner(spec), opts.Seed+17, opts.Seed+1017)
 	}
-	for _, algo := range []string{"PPO2", "A2C", "SAC", "DDPG"} {
-		v, err := validate(algo, "Walker2D")
-		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 11a %s: %w", algo, err)
+	err := forEach(len(algos)+len(envs), func(i int) error {
+		if i < len(algos) {
+			v, err := validate(algos[i], "Walker2D")
+			if err != nil {
+				return fmt.Errorf("experiments: figure 11a %s: %w", algos[i], err)
+			}
+			out.ByAlgorithm[i] = v
+			return nil
 		}
-		out.ByAlgorithm = append(out.ByAlgorithm, v)
-	}
-	for _, env := range []string{"Hopper", "Ant", "HalfCheetah", "Pong"} {
+		env := envs[i-len(algos)]
 		v, err := validate("PPO2", env)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 11b %s: %w", env, err)
+			return fmt.Errorf("experiments: figure 11b %s: %w", env, err)
 		}
-		out.BySimulator = append(out.BySimulator, v)
+		out.BySimulator[i-len(algos)] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -223,16 +237,17 @@ func AppendixC4(opts Options) (*C4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := runner(trace.Uninstrumented(), opts.Seed+1023)
+	// The uninstrumented and fully instrumented validation replays are
+	// independent and run concurrently.
+	base, full, err := runPair(
+		func() (*calib.RunStats, error) { return runner(trace.Uninstrumented(), opts.Seed+1023) },
+		func() (*calib.RunStats, error) { return runner(trace.Full(), opts.Seed+1023) },
+	)
 	if err != nil {
 		return nil, err
 	}
-	full, err := runner(trace.Full(), opts.Seed+1023)
-	if err != nil {
-		return nil, err
-	}
-	corrected := overlap.Compute(calib.Correct(full.Trace, cal).ProcEvents(0))
-	uncorrected := overlap.Compute(full.Trace.ProcEvents(0))
+	corrected := analyzeMain(calib.Correct(full.Trace, cal))
+	uncorrected := analyzeMain(full.Trace)
 
 	ratio := func(res *overlap.Result) float64 {
 		var cudaTime, gpuTime vclock.Duration

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/backend"
 	"repro/internal/calib"
 	"repro/internal/overlap"
@@ -39,13 +40,52 @@ func (o Options) steps(def int) int {
 }
 
 // runUninstrumented executes a workload spec and returns its overlap
-// analysis and stats.
+// analysis and stats. The analysis runs through the sharded engine with a
+// single worker: figure harnesses parallelize across workload replays (the
+// coarser, better-balanced grain), so per-trace shards stay inline.
 func runUninstrumented(spec workloads.Spec) (*overlap.Result, *calib.RunStats, error) {
 	stats, err := workloads.Run(spec, trace.Uninstrumented())
 	if err != nil {
 		return nil, nil, err
 	}
-	return overlap.Compute(stats.Trace.ProcEvents(0)), stats, nil
+	return analyzeMain(stats.Trace), stats, nil
+}
+
+// analyzeMain returns the main process's overlap breakdown, or an empty
+// result for a trace with no process-0 events — analysis.Run only has
+// entries for processes that appear in the trace.
+func analyzeMain(tr *trace.Trace) *overlap.Result {
+	if res := analysis.Run(tr, analysis.Options{Workers: 1})[0]; res != nil {
+		return res
+	}
+	return overlap.Compute(nil)
+}
+
+// forEach fans n independent experiment jobs (workload replays, validation
+// runs) out over the analysis engine's pool scheduler. Each call spins up
+// its own pool sized to the machine; pools are not shared across calls.
+func forEach(n int, fn func(i int) error) error {
+	return analysis.ForEach(0, n, fn)
+}
+
+// runPair executes two independent workload replays concurrently — the
+// calibration illustrations all compare a pair of runs under different
+// feature flags.
+func runPair(a, b func() (*calib.RunStats, error)) (*calib.RunStats, *calib.RunStats, error) {
+	var ra, rb *calib.RunStats
+	err := forEach(2, func(i int) error {
+		var err error
+		if i == 0 {
+			ra, err = a()
+		} else {
+			rb, err = b()
+		}
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ra, rb, nil
 }
 
 // Table1Row is one row of Table 1.

@@ -33,7 +33,8 @@ func Figure3() *Figure3Result {
 		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(1.05), End: ms(1.90), Name: "expand"},
 		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(2.75), End: ms(3.60), Name: "expand"},
 	}
-	res := overlap.Compute(events)
+	tr := &trace.Trace{Events: events, Meta: trace.Meta{Workload: "figure3"}}
+	res := analyzeMain(tr)
 	return &Figure3Result{
 		CPUMcts:       res.Dur("mcts_tree_search", overlap.ResCPU, trace.CatPython),
 		CPUExpand:     res.Dur("expand_leaf", overlap.ResCPU, trace.CatPython),

@@ -38,33 +38,43 @@ var ddpgModels = []backend.ExecModel{
 
 // Figure4 runs the framework comparison: identical algorithm (TD3/DDPG),
 // simulator (Walker2D), and hyperparameters; only the RL framework's
-// execution model and backend differ (paper §4.1).
+// execution model and backend differ (paper §4.1). The seven configurations
+// are independent replays, so they run concurrently on the analysis pool;
+// each entry lands at its configuration's fixed slice position, keeping the
+// result identical to a sequential sweep.
 func Figure4(opts Options) (*Figure4Result, error) {
 	steps := opts.steps(2000)
-	out := &Figure4Result{}
-	run := func(algo string, model backend.ExecModel) (Figure4Entry, error) {
+	out := &Figure4Result{
+		TD3:  make([]Figure4Entry, len(td3Models)),
+		DDPG: make([]Figure4Entry, len(ddpgModels)),
+	}
+	type job struct {
+		figure string
+		algo   string
+		model  backend.ExecModel
+		dst    *Figure4Entry
+	}
+	var jobs []job
+	for i, m := range td3Models {
+		jobs = append(jobs, job{"4a", "TD3", m, &out.TD3[i]})
+	}
+	for i, m := range ddpgModels {
+		jobs = append(jobs, job{"4b", "DDPG", m, &out.DDPG[i]})
+	}
+	err := forEach(len(jobs), func(i int) error {
+		j := jobs[i]
 		res, stats, err := runUninstrumented(workloads.Spec{
-			Algo: algo, Env: "Walker2D", Model: model,
+			Algo: j.algo, Env: "Walker2D", Model: j.model,
 			TotalSteps: steps, Seed: opts.Seed + 1,
 		})
 		if err != nil {
-			return Figure4Entry{}, err
+			return fmt.Errorf("experiments: figure %s %v: %w", j.figure, j.model, err)
 		}
-		return Figure4Entry{Algo: algo, Model: model, Res: res, Total: stats.Total}, nil
-	}
-	for _, m := range td3Models {
-		e, err := run("TD3", m)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 4a %v: %w", m, err)
-		}
-		out.TD3 = append(out.TD3, e)
-	}
-	for _, m := range ddpgModels {
-		e, err := run("DDPG", m)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 4b %v: %w", m, err)
-		}
-		out.DDPG = append(out.DDPG, e)
+		*j.dst = Figure4Entry{Algo: j.algo, Model: j.model, Res: res, Total: stats.Total}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -120,21 +130,27 @@ var figure5Algos = []struct {
 }
 
 // Figure5 runs the algorithm survey: four algorithms on Walker2D under the
-// stable-baselines (Graph) framework (paper §4.2).
+// stable-baselines (Graph) framework (paper §4.2). The surveyed algorithms
+// replay concurrently on the analysis pool.
 func Figure5(opts Options) (*Figure5Result, error) {
 	steps := opts.steps(2000)
-	out := &Figure5Result{}
-	for _, a := range figure5Algos {
+	out := &Figure5Result{Entries: make([]Figure4Entry, len(figure5Algos))}
+	err := forEach(len(figure5Algos), func(i int) error {
+		a := figure5Algos[i]
 		res, stats, err := runUninstrumented(workloads.Spec{
 			Algo: a.Name, Env: "Walker2D", Model: backend.Graph,
 			TotalSteps: steps, Seed: opts.Seed + 2,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 5 %s: %w", a.Name, err)
+			return fmt.Errorf("experiments: figure 5 %s: %w", a.Name, err)
 		}
-		out.Entries = append(out.Entries, Figure4Entry{
+		out.Entries[i] = Figure4Entry{
 			Algo: a.Name, Model: backend.Graph, Res: res, Total: stats.Total,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/backend"
 	"repro/internal/minigo"
 	"repro/internal/nvsmi"
@@ -40,11 +41,13 @@ type Figure7Result struct {
 
 // Figure7 runs the simulator survey: the top-performing on-policy algorithm
 // (PPO2, per the paper's appendix B.1) across environments spanning the
-// complexity axis.
+// complexity axis. The environments replay concurrently on the analysis
+// pool.
 func Figure7(opts Options) (*Figure7Result, error) {
 	steps := opts.steps(1024)
-	out := &Figure7Result{}
-	for _, env := range sim.SurveyNames {
+	out := &Figure7Result{Entries: make([]Figure7Entry, len(sim.SurveyNames))}
+	err := forEach(len(sim.SurveyNames), func(i int) error {
+		env := sim.SurveyNames[i]
 		envSteps := steps
 		if env == "AirLearning" {
 			// The high-complexity simulator is 200× slower per
@@ -57,9 +60,13 @@ func Figure7(opts Options) (*Figure7Result, error) {
 			TotalSteps: envSteps, Seed: opts.Seed + 3,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 7 %s: %w", env, err)
+			return fmt.Errorf("experiments: figure 7 %s: %w", env, err)
 		}
-		out.Entries = append(out.Entries, Figure7Entry{Env: env, Res: res, Total: stats.Total})
+		out.Entries[i] = Figure7Entry{Env: env, Res: res, Total: stats.Total}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -150,7 +157,7 @@ func Figure8(opts Options) (*Figure8Result, error) {
 func (r *Figure8Result) Render() string {
 	var sb strings.Builder
 	sb.WriteString("== Figure 8: Minigo multi-process view ==\n")
-	sb.WriteString(report.ProcessTree(r.Minigo.Trace, overlap.ComputeTrace(r.Minigo.Trace)))
+	sb.WriteString(report.ProcessTree(r.Minigo.Trace, analysis.Run(r.Minigo.Trace, analysis.Options{})))
 	sb.WriteString("\n")
 	fmt.Fprintf(&sb, "%-22s %-12s %-12s %s\n", "process", "total", "GPU", "GPU%")
 	for _, p := range r.Minigo.Trace.ProcIDs() {

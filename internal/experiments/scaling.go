@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/minigo"
 	"repro/internal/nvsmi"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -32,8 +34,12 @@ type ScalingResult struct {
 // i.e. adding workers inflates the *metric* without making any worker more
 // GPU-bound.
 func Figure8Scaling(opts Options) (*ScalingResult, error) {
-	out := &ScalingResult{}
-	for _, workers := range []int{1, 2, 4, 8, 16} {
+	poolSizes := []int{1, 2, 4, 8, 16}
+	out := &ScalingResult{Points: make([]ScalingPoint, len(poolSizes))}
+	// Each pool size is an independent Minigo pipeline run; the sweep's
+	// configurations replay concurrently on the analysis pool.
+	err := forEach(len(poolSizes), func(i int) error {
+		workers := poolSizes[i]
 		cfg := minigo.DefaultConfig()
 		cfg.Seed = opts.Seed + 6
 		cfg.Workers = workers
@@ -41,14 +47,22 @@ func Figure8Scaling(opts Options) (*ScalingResult, error) {
 		cfg.SimsPerMove = 16
 		res, err := minigo.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 8 scaling (%d workers): %w", workers, err)
+			return fmt.Errorf("experiments: figure 8 scaling (%d workers): %w", workers, err)
 		}
 		period := vclock.Duration(res.SpanEnd-res.SpanStart) / 40
 		rep := nvsmi.Sample(res.Busy, res.SpanStart, res.SpanEnd, period)
+		// Sum in sorted process order: float addition is not
+		// associative, so map-iteration order would make the fraction
+		// differ in the last bits between runs.
+		procs := make([]trace.ProcID, 0, len(res.WorkerTotal))
+		for proc := range res.WorkerTotal {
+			procs = append(procs, proc)
+		}
+		sort.Slice(procs, func(a, b int) bool { return procs[a] < procs[b] })
 		var gpuFrac float64
 		n := 0
-		for proc, total := range res.WorkerTotal {
-			if total > 0 {
+		for _, proc := range procs {
+			if total := res.WorkerTotal[proc]; total > 0 {
 				gpuFrac += res.WorkerGPU[proc].Seconds() / total.Seconds()
 				n++
 			}
@@ -56,13 +70,17 @@ func Figure8Scaling(opts Options) (*ScalingResult, error) {
 		if n > 0 {
 			gpuFrac /= float64(n)
 		}
-		out.Points = append(out.Points, ScalingPoint{
+		out.Points[i] = ScalingPoint{
 			Workers:       workers,
 			SampledUtil:   rep.Utilization(),
 			TrueUtil:      rep.TrueUtilization(),
 			WorkerGPUFrac: gpuFrac,
 			Span:          vclock.Duration(res.SpanEnd - res.SpanStart),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -84,6 +84,24 @@ type TransitionKey struct {
 // in any order; only KindCPU, KindGPU, KindOp and KindTransition events
 // participate.
 func Compute(events []trace.Event) *Result {
+	return ComputeWindow(events, vclock.MinTime, vclock.MaxTime)
+}
+
+// ComputeWindow runs the overlap sweep restricted to the half-open window
+// [lo, hi): only time inside the window is accumulated and only transition
+// markers with lo <= t < hi are counted. Events are NOT clipped — every
+// instant inside the window is classified against the original event
+// boundaries, so summing the results of a window partition reproduces
+// Compute over the full timeline exactly. This is the primitive the sharded
+// analysis engine (internal/analysis) parallelizes over.
+func ComputeWindow(events []trace.Event, lo, hi vclock.Time) *Result {
+	return computeWindow(events, lo, hi, true)
+}
+
+// computeWindow is ComputeWindow with transition scoping optional: callers
+// that only consume ByKey sums (Phases) skip the op-index sort and the
+// per-marker lookups entirely.
+func computeWindow(events []trace.Event, lo, hi vclock.Time, withTransitions bool) *Result {
 	res := &Result{
 		ByKey:       map[Key]vclock.Duration{},
 		Transitions: map[TransitionKey]int{},
@@ -101,7 +119,12 @@ func Compute(events []trace.Event) *Result {
 			if e.End <= e.Start {
 				continue // zero-width intervals contribute nothing
 			}
+			if e.End <= lo || e.Start >= hi {
+				continue // entirely outside the window
+			}
 			bounds = append(bounds, boundary{e.Start, true, i}, boundary{e.End, false, i})
+			// Span uses the unclipped extent: a partition of windows
+			// then merges to the same span Compute reports.
 			if !spanSet || e.Start < res.SpanStart {
 				res.SpanStart = e.Start
 			}
@@ -129,8 +152,18 @@ func Compute(events []trace.Event) *Result {
 	for bi := 0; bi < len(bounds); {
 		t := bounds[bi].t
 		if !first && t > prev {
-			if k, ok := classify(events, active); ok {
-				res.ByKey[k] += t.Sub(prev)
+			// Accumulate only the part of [prev, t) inside [lo, hi).
+			s, e := prev, t
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				if k, ok := classify(events, active); ok {
+					res.ByKey[k] += e.Sub(s)
+				}
 			}
 		}
 		for bi < len(bounds) && bounds[bi].t == t {
@@ -145,11 +178,20 @@ func Compute(events []trace.Event) *Result {
 		first = false
 	}
 
-	// Second pass: scope transition markers to operations.
-	ops := opIntervals(events)
+	if !withTransitions {
+		return res
+	}
+	// Second pass: scope transition markers to operations. The op index
+	// is built lazily so windows without any markers skip its sort.
+	var ops opIndex
+	opsBuilt := false
 	for _, e := range events {
-		if e.Kind != trace.KindTransition {
+		if e.Kind != trace.KindTransition || e.Start < lo || e.Start >= hi {
 			continue
+		}
+		if !opsBuilt {
+			ops = opIntervals(events)
+			opsBuilt = true
 		}
 		res.Transitions[TransitionKey{Op: ops.at(e.Start), Label: e.Name}]++
 	}
@@ -181,7 +223,7 @@ func classify(events []trace.Event, active map[int]bool) (Key, bool) {
 				gpuBest, gpuFound = e, true
 			}
 		case trace.KindOp:
-			if !opFound || e.Start > opBest.Start || (e.Start == opBest.Start && e.End < opBest.End) {
+			if !opFound || innerOp(e, opBest) {
 				opBest, opFound = e, true
 			}
 		}
@@ -207,12 +249,36 @@ func classify(events []trace.Event, active map[int]bool) (Key, bool) {
 }
 
 // innerCPU reports whether a is more deeply nested than b: later start wins;
-// at equal starts the higher CPU rank (deeper tier) wins.
+// at equal starts the higher CPU rank (deeper tier) wins. The remaining
+// comparisons only break exact ties, so the choice never depends on map
+// iteration order.
 func innerCPU(a, b trace.Event) bool {
 	if a.Start != b.Start {
 		return a.Start > b.Start
 	}
-	return a.Cat.CPURank() > b.Cat.CPURank()
+	if ar, br := a.Cat.CPURank(), b.Cat.CPURank(); ar != br {
+		return ar > br
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Cat != b.Cat {
+		return a.Cat > b.Cat
+	}
+	return a.Name < b.Name
+}
+
+// innerOp reports whether op event a is more deeply nested than b: later
+// start wins, then earlier end; the name comparison only breaks exact ties
+// deterministically.
+func innerOp(a, b trace.Event) bool {
+	if a.Start != b.Start {
+		return a.Start > b.Start
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	return a.Name < b.Name
 }
 
 // opIndex answers "which operation is active at time t" queries.
@@ -231,22 +297,31 @@ func opIntervals(events []trace.Event) opIndex {
 		if ops[i].Start != ops[j].Start {
 			return ops[i].Start < ops[j].Start
 		}
-		return ops[i].End > ops[j].End
+		if ops[i].End != ops[j].End {
+			return ops[i].End > ops[j].End
+		}
+		return ops[i].Name < ops[j].Name
 	})
 	return opIndex{events: ops}
 }
 
-// at returns the innermost operation covering t, or UntrackedOp.
+// at returns the innermost operation covering t, or UntrackedOp. Innermost
+// is decided by innerOp — the same rule classify uses — so duration
+// attribution and transition scoping always agree on which operation owns
+// an instant, including under exact ties.
 func (ix opIndex) at(t vclock.Time) string {
-	best := UntrackedOp
-	var bestStart vclock.Time = -1
+	var best trace.Event
+	found := false
 	for _, e := range ix.events {
 		if e.Start > t {
 			break
 		}
-		if t < e.End && e.Start >= bestStart {
-			best, bestStart = e.Name, e.Start
+		if t < e.End && (!found || innerOp(e, best)) {
+			best, found = e, true
 		}
 	}
-	return best
+	if !found {
+		return UntrackedOp
+	}
+	return best.Name
 }

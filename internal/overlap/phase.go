@@ -45,25 +45,11 @@ func Phases(events []trace.Event) []PhaseBreakdown {
 	}
 	for pi := range phases {
 		p := &phases[pi]
-		// Run the overlap sweep on events clipped to the phase window.
-		var clipped []trace.Event
-		for _, e := range events {
-			if e.Kind != trace.KindCPU && e.Kind != trace.KindGPU {
-				continue
-			}
-			if e.End <= p.Start || e.Start >= p.End {
-				continue
-			}
-			ce := e
-			if ce.Start < p.Start {
-				ce.Start = p.Start
-			}
-			if ce.End > p.End {
-				ce.End = p.End
-			}
-			clipped = append(clipped, ce)
-		}
-		res := Compute(clipped)
+		// Run the overlap sweep restricted to the phase window, without
+		// transition scoping (only the resource/category sums below are
+		// consumed); the per-operation split the full sweep adds
+		// collapses back out in those sums.
+		res := computeWindow(events, p.Start, p.End, false)
 		for k, d := range res.ByKey {
 			if k.Res&ResCPU != 0 {
 				p.CPU += d

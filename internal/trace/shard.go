@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// Shard is one unit of parallel offline analysis: a (process, phase) slice
+// of the trace. The window [Lo, Hi) is half-open; the windows of one
+// process partition the entire timeline, so per-shard analyses merge to
+// exactly the whole-process analysis. Events holds the process's events
+// overlapping the window, unclipped — the analysis engine restricts
+// accumulation to the window instead of truncating events, which is what
+// makes the merge exact.
+type Shard struct {
+	// Proc is the process the shard belongs to.
+	Proc ProcID
+	// Phase is the name of the phase covering the window, or "" for the
+	// slices of the timeline outside any phase annotation.
+	Phase string
+	// Lo and Hi bound the analysis window. The first shard of a process
+	// extends to vclock.MinTime and the last to vclock.MaxTime.
+	Lo, Hi vclock.Time
+	// Events holds copies of the process events overlapping [Lo, Hi); an
+	// event spanning several windows appears in each of their shards.
+	Events []Event
+}
+
+// Shards splits the trace into per-(process, phase) analysis shards. A
+// process without phase annotations yields one shard spanning the whole
+// timeline; a process with phases yields one shard per phase window plus
+// shards for any uncovered gaps. Windows containing no events are dropped.
+func (t *Trace) Shards() []Shard {
+	t.Sort()
+	var shards []Shard
+	for _, p := range t.ProcIDs() {
+		events := t.ProcEvents(p)
+		// Windows ascend and events are Start-sorted, so the scan for
+		// each window starts past the prefix of events that ended before
+		// the window and stops at the first event starting after it.
+		base := 0
+		for _, w := range phaseWindows(events) {
+			for base < len(events) && deadBefore(events[base], w.lo) {
+				base++
+			}
+			sh := Shard{Proc: p, Phase: w.phase, Lo: w.lo, Hi: w.hi}
+			for _, e := range events[base:] {
+				if e.Start >= w.hi {
+					break
+				}
+				if overlapsWindow(e, w.lo, w.hi) {
+					sh.Events = append(sh.Events, e)
+				}
+			}
+			if len(sh.Events) > 0 {
+				shards = append(shards, sh)
+			}
+		}
+	}
+	return shards
+}
+
+// overlapsWindow reports whether the event intersects [lo, hi): interval
+// events by extent, point markers by membership of their instant.
+func overlapsWindow(e Event, lo, hi vclock.Time) bool {
+	if e.IsPoint() {
+		return lo <= e.Start && e.Start < hi
+	}
+	return e.End > lo && e.Start < hi
+}
+
+// deadBefore reports whether the event ends strictly before lo and so can
+// overlap neither a window starting at lo nor any later one.
+func deadBefore(e Event, lo vclock.Time) bool {
+	if e.IsPoint() {
+		return e.Start < lo
+	}
+	return e.End <= lo
+}
+
+type window struct {
+	phase  string
+	lo, hi vclock.Time
+}
+
+// phaseWindows derives the partition of one process's timeline from its
+// phase annotations: cut points at every phase boundary, windows between
+// consecutive cuts, labelled by the innermost phase covering them.
+func phaseWindows(events []Event) []window {
+	var phases []Event
+	cutSet := map[vclock.Time]bool{}
+	for _, e := range events {
+		if e.Kind == KindPhase && e.End > e.Start {
+			phases = append(phases, e)
+			cutSet[e.Start] = true
+			cutSet[e.End] = true
+		}
+	}
+	if len(phases) == 0 {
+		return []window{{lo: vclock.MinTime, hi: vclock.MaxTime}}
+	}
+	cuts := make([]vclock.Time, 0, len(cutSet))
+	for t := range cutSet {
+		cuts = append(cuts, t)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	bounds := append([]vclock.Time{vclock.MinTime}, cuts...)
+	bounds = append(bounds, vclock.MaxTime)
+	var windows []window
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo == hi {
+			continue
+		}
+		windows = append(windows, window{phase: coveringPhase(phases, lo, hi), lo: lo, hi: hi})
+	}
+	return windows
+}
+
+// coveringPhase returns the name of the innermost (latest-starting) phase
+// fully covering [lo, hi), or "" when the window lies outside every phase.
+// Cut-point construction guarantees a window is never partially covered.
+func coveringPhase(phases []Event, lo, hi vclock.Time) string {
+	name := ""
+	var bestStart vclock.Time = vclock.MinTime
+	found := false
+	for _, p := range phases {
+		if p.Start <= lo && hi <= p.End && (!found || p.Start >= bestStart) {
+			name, bestStart, found = p.Name, p.Start, true
+		}
+	}
+	return name
+}

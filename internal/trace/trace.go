@@ -86,7 +86,7 @@ func (f FeatureFlags) String() string {
 // enclosing events precede the events they contain. The overlap sweep and
 // overhead correction both require this order.
 func (t *Trace) Sort() {
-	sort.SliceStable(t.Events, func(i, j int) bool {
+	less := func(i, j int) bool {
 		a, b := t.Events[i], t.Events[j]
 		if a.Proc != b.Proc {
 			return a.Proc < b.Proc
@@ -95,7 +95,14 @@ func (t *Trace) Sort() {
 			return a.Start < b.Start
 		}
 		return a.End > b.End
-	})
+	}
+	// The analysis hot path calls Sort once per ProcEvents lookup; an O(n)
+	// order check keeps repeat calls cheap without caching sortedness
+	// state that direct Events mutation could silently invalidate.
+	if sort.SliceIsSorted(t.Events, less) {
+		return
+	}
+	sort.SliceStable(t.Events, less)
 }
 
 // ProcEvents returns the events belonging to one process, in Sort order.

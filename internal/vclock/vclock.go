@@ -15,12 +15,20 @@ package vclock
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the run.
 type Time int64
+
+// MinTime and MaxTime are the extreme representable instants, used as
+// half-open window sentinels by the sharded analysis engine.
+const (
+	MinTime Time = math.MinInt64
+	MaxTime Time = math.MaxInt64
+)
 
 // Duration is a span of virtual time in nanoseconds. It converts directly to
 // and from time.Duration.

@@ -1,0 +1,145 @@
+package rlscope
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// randomWorkloadTrace profiles a randomized multi-process workload: each
+// process runs a random mix of annotated operations, simulator calls,
+// backend calls with kernel launches, and phase changes, all on the seeded
+// virtual clock.
+func randomWorkloadTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	p := New(Options{Workload: "parallel-property", Flags: FullInstrumentation(), Seed: seed})
+	dev := gpu.NewDevice(-1)
+	procs := 2 + rng.Intn(3)
+	ops := []string{"inference", "simulation", "backpropagation"}
+	phases := []string{"collect", "train", "evaluate"}
+	for pi := 0; pi < procs; pi++ {
+		parent := trace.ProcID(-1)
+		if pi > 0 {
+			parent = 0
+		}
+		sess := p.NewProcess(fmt.Sprintf("worker%d", pi), parent, vclock.Time(rng.Intn(1000)))
+		ctx := cuda.NewContext(sess, dev, cuda.DefaultCosts())
+		steps := 20 + rng.Intn(60)
+		for s := 0; s < steps; s++ {
+			if rng.Intn(8) == 0 {
+				sess.SetPhase(phases[rng.Intn(len(phases))])
+			}
+			sess.WithOperation(ops[rng.Intn(len(ops))], func() {
+				switch rng.Intn(3) {
+				case 0:
+					sess.CallSimulator("env.step", func() {
+						sess.Clock().Advance(vclock.Duration(1+rng.Intn(200)) * vclock.Microsecond)
+					})
+				case 1:
+					sess.CallBackend("forward", func() {
+						for k := 0; k < 1+rng.Intn(4); k++ {
+							ctx.LaunchKernel("k", vclock.Duration(1+rng.Intn(9))*vclock.Microsecond)
+						}
+						if rng.Intn(2) == 0 {
+							ctx.StreamSynchronize()
+						}
+					})
+				default:
+					sess.Python(vclock.Exact(vclock.Duration(1+rng.Intn(100)) * vclock.Microsecond))
+				}
+			})
+		}
+		sess.Close()
+	}
+	return p.MustTrace()
+}
+
+// renderResults serializes an analysis deterministically for byte-level
+// comparison.
+func renderResults(m map[ProcID]*Result) string {
+	procs := make([]ProcID, 0, len(m))
+	for p := range m {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	var sb strings.Builder
+	for _, p := range procs {
+		r := m[p]
+		fmt.Fprintf(&sb, "proc %d span [%d,%d]\n", p, r.SpanStart, r.SpanEnd)
+		keys := make([]overlap.Key, 0, len(r.ByKey))
+		for k := range r.ByKey {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.Op != b.Op {
+				return a.Op < b.Op
+			}
+			if a.Res != b.Res {
+				return a.Res < b.Res
+			}
+			return a.Cat < b.Cat
+		})
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %s/%v/%v = %d\n", k.Op, k.Res, k.Cat, r.ByKey[k])
+		}
+		tkeys := make([]overlap.TransitionKey, 0, len(r.Transitions))
+		for k := range r.Transitions {
+			tkeys = append(tkeys, k)
+		}
+		sort.Slice(tkeys, func(i, j int) bool {
+			if tkeys[i].Op != tkeys[j].Op {
+				return tkeys[i].Op < tkeys[j].Op
+			}
+			return tkeys[i].Label < tkeys[j].Label
+		})
+		for _, k := range tkeys {
+			fmt.Fprintf(&sb, "  trans %s/%s = %d\n", k.Op, k.Label, r.Transitions[k])
+		}
+	}
+	return sb.String()
+}
+
+// TestAnalyzeParallelDeterministic asserts the tentpole property: on
+// randomized multi-process traces, AnalyzeParallel produces byte-identical
+// results for Workers 1..8, all equal to the sequential per-process sweep.
+func TestAnalyzeParallelDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tr := randomWorkloadTrace(seed)
+		sequential := map[ProcID]*Result{}
+		for _, p := range tr.ProcIDs() {
+			sequential[p] = AnalyzeProcess(tr, p)
+		}
+		want := renderResults(sequential)
+		if got := renderResults(Analyze(tr)); got != want {
+			t.Fatalf("seed %d: Analyze diverges from per-process sweep:\n%s\nvs\n%s", seed, got, want)
+		}
+		for workers := 1; workers <= 8; workers++ {
+			got := renderResults(AnalyzeParallel(tr, AnalysisOptions{Workers: workers}))
+			if got != want {
+				t.Fatalf("seed %d workers %d: AnalyzeParallel diverges from sequential Analyze:\n%s\nvs\n%s",
+					seed, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestAnalyzeParallelRepeatable asserts run-to-run stability at full
+// concurrency — no map-iteration or scheduling order may leak into results.
+func TestAnalyzeParallelRepeatable(t *testing.T) {
+	tr := randomWorkloadTrace(77)
+	first := renderResults(AnalyzeParallel(tr, AnalysisOptions{}))
+	for i := 0; i < 5; i++ {
+		if got := renderResults(AnalyzeParallel(tr, AnalysisOptions{})); got != first {
+			t.Fatalf("run %d: result changed between identical invocations", i)
+		}
+	}
+}

@@ -45,6 +45,7 @@
 package rlscope
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/calib"
 	"repro/internal/overlap"
 	"repro/internal/profiler"
@@ -115,9 +116,23 @@ func Uninstrumented() FeatureFlags { return trace.Uninstrumented() }
 // DefaultOverheads returns the standard book-keeping cost model.
 func DefaultOverheads() OverheadModel { return profiler.DefaultOverheads() }
 
+// AnalysisOptions configures the sharded analysis engine behind
+// AnalyzeParallel.
+type AnalysisOptions = analysis.Options
+
 // Analyze runs the cross-stack overlap computation for every process in
-// the trace (paper §3.3).
-func Analyze(t *Trace) map[ProcID]*Result { return overlap.ComputeTrace(t) }
+// the trace (paper §3.3). It delegates to AnalyzeParallel with a single
+// worker, which executes inline with no goroutines.
+func Analyze(t *Trace) map[ProcID]*Result {
+	return AnalyzeParallel(t, AnalysisOptions{Workers: 1})
+}
+
+// AnalyzeParallel runs the overlap computation by fanning per-(process,
+// phase) shards of the trace over a worker pool. Results are byte-identical
+// to Analyze for every worker count; Workers <= 0 uses one worker per CPU.
+func AnalyzeParallel(t *Trace, opts AnalysisOptions) map[ProcID]*Result {
+	return analysis.Run(t, opts)
+}
 
 // AnalyzeProcess runs the overlap computation for one process.
 func AnalyzeProcess(t *Trace, p ProcID) *Result { return overlap.Compute(t.ProcEvents(p)) }
