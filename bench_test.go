@@ -10,9 +10,11 @@ package rlscope
 import (
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/backend"
 	"repro/internal/calib"
 	"repro/internal/cuda"
@@ -29,6 +31,17 @@ import (
 // benchSteps keeps figure benches fast; the cmd/rlscope-experiments tool
 // runs the full-scale versions.
 const benchSteps = 400
+
+// TestMain cleans up the on-disk bench trace streamingBenchDir lazily
+// creates (b.TempDir is per-benchmark, so the shared directory cannot use
+// it).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if streamingBenchDirPath != "" {
+		os.RemoveAll(streamingBenchDirPath)
+	}
+	os.Exit(code)
+}
 
 func BenchmarkTable1Frameworks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -367,6 +380,99 @@ func BenchmarkParallelAnalysis(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(tr.Events)), "events")
+		})
+	}
+}
+
+// streamingBenchDir writes the Minigo-scale bench trace to a chunked trace
+// directory once; the streaming benchmarks replay it from disk, which is
+// exactly the production path rlscope-analyze exercises. TestMain removes
+// the directory after the run.
+var streamingBenchDirPath string
+
+var streamingBenchDir = sync.OnceValues(func() (string, error) {
+	tr, err := parallelBenchTrace()
+	if err != nil {
+		return "", err
+	}
+	dir, err := os.MkdirTemp("", "rlscope-stream-bench-")
+	if err != nil {
+		return "", err
+	}
+	streamingBenchDirPath = dir
+	w, err := trace.NewWriter(dir, 1<<16)
+	if err != nil {
+		return "", err
+	}
+	w.Append(tr.Events...)
+	if err := w.Close(tr.Meta); err != nil {
+		return "", err
+	}
+	return dir, nil
+})
+
+// BenchmarkStreamingAnalysis measures the streaming ingestion + incremental
+// analysis path against load-then-analyze on the same on-disk trace. The
+// "materialized" variant is ReadDir + AnalyzeParallel; the stream variants
+// run analysis.RunStream at 1 and 4 workers, unbounded and under a 256 KiB
+// resident budget. Each variant reports its peak resident events/bytes —
+// the budgeted run's peak stays bounded near MaxResidentBytes while the
+// materialized path by definition holds every event at once.
+func BenchmarkStreamingAnalysis(b *testing.B) {
+	dir, err := streamingBenchDir()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := float64(len(tr.Events))
+
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loaded, err := trace.ReadDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r := AnalyzeParallel(loaded, AnalysisOptions{Workers: 1}); len(r) == 0 {
+				b.Fatal("empty analysis")
+			}
+		}
+		b.ReportMetric(events, "events")
+		b.ReportMetric(events, "peak-resident-events")
+	})
+	for _, cfg := range []struct {
+		name    string
+		workers int
+		budget  int64
+	}{
+		{"stream/workers=1", 1, 0},
+		{"stream/workers=4", 4, 0},
+		{"stream/workers=4/budget=256KiB", 4, 256 << 10},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var stats analysis.StreamStats
+			for i := 0; i < b.N; i++ {
+				r, err := trace.OpenDir(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, st, err := analysis.RunStream(r, analysis.Options{
+					Workers: cfg.workers, MaxResidentBytes: cfg.budget,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) == 0 {
+					b.Fatal("empty analysis")
+				}
+				stats = st
+			}
+			b.ReportMetric(events, "events")
+			b.ReportMetric(float64(stats.PeakResidentEvents), "peak-resident-events")
+			b.ReportMetric(float64(stats.PeakResidentBytes), "peak-resident-bytes")
+			b.ReportMetric(float64(stats.Evictions), "evictions")
 		})
 	}
 }

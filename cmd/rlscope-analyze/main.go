@@ -4,15 +4,23 @@
 // computation fans (process, phase) shards out over a worker pool sized by
 // -workers; results are identical for every pool size.
 //
+// By default the trace is analyzed *streamingly*: chunk files are decoded
+// lazily and fed to the shard pool as they arrive, so memory stays bounded
+// by -max-resident instead of the trace size. Report modes that need the
+// whole event list at once (-summary, -timeline, -tree, -phases) — or an
+// explicit -materialize — load the trace as before; the results are
+// byte-identical either way.
+//
 // Usage:
 //
-//	rlscope-analyze -trace /tmp/trace [-workers N]
+//	rlscope-analyze -trace /tmp/trace [-workers N] [-max-resident BYTES] [-materialize]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/overlap"
@@ -22,26 +30,62 @@ import (
 
 func main() {
 	var (
-		dir      = flag.String("trace", "", "trace directory (required)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
-		phases   = flag.Bool("phases", false, "also print per-phase breakdowns")
-		summary  = flag.Bool("summary", false, "print trace statistics (event counts, top kernels)")
-		timeline = flag.Bool("timeline", false, "render an ASCII timeline of process 0")
-		tree     = flag.Bool("tree", false, "render the multi-process fork tree (Figure 8 style)")
-		workers  = flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU)")
+		dir         = flag.String("trace", "", "trace directory (required)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of tables")
+		phases      = flag.Bool("phases", false, "also print per-phase breakdowns")
+		summary     = flag.Bool("summary", false, "print trace statistics (event counts, top kernels)")
+		timeline    = flag.Bool("timeline", false, "render an ASCII timeline of process 0")
+		tree        = flag.Bool("tree", false, "render the multi-process fork tree (Figure 8 style)")
+		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU)")
+		maxResident = flag.Int64("max-resident", 0, "streaming memory budget in bytes (0 = unbounded)")
+		materialize = flag.Bool("materialize", false, "force load-then-analyze instead of streaming")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "rlscope-analyze: -trace is required")
 		os.Exit(2)
 	}
-	tr, err := trace.ReadDir(*dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
-		os.Exit(1)
+
+	// -phases and the report modes below consume the full event list, so
+	// they force materialization; plain breakdowns stream.
+	needTrace := *materialize || *summary || *timeline || *tree || *phases
+
+	var (
+		tr      *trace.Trace
+		meta    trace.Meta
+		results map[trace.ProcID]*overlap.Result
+		nevents int
+	)
+	if needTrace {
+		var err error
+		tr, err = trace.ReadDir(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
+			os.Exit(1)
+		}
+		meta = tr.Meta
+		nevents = len(tr.Events)
+	} else {
+		r, err := trace.OpenDir(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
+			os.Exit(1)
+		}
+		meta = r.Meta()
+		var stats analysis.StreamStats
+		results, stats, err = analysis.RunStream(r, analysis.Options{
+			Workers: *workers, MaxResidentBytes: *maxResident,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
+			os.Exit(1)
+		}
+		nevents = stats.Events
+		fmt.Fprintf(os.Stderr, "rlscope-analyze: streamed %d chunks, peak resident %d events\n",
+			stats.Chunks, stats.PeakResidentEvents)
 	}
 	fmt.Fprintf(os.Stderr, "rlscope-analyze: %s (%d events, flags %s)\n",
-		tr.Meta.Workload, len(tr.Events), tr.Meta.Config)
+		meta.Workload, nevents, meta.Config)
 
 	if *summary {
 		fmt.Print(trace.Summarize(tr))
@@ -53,15 +97,17 @@ func main() {
 		fmt.Println()
 	}
 
-	results := analysis.Run(tr, analysis.Options{Workers: *workers})
+	if results == nil {
+		results = analysis.Run(tr, analysis.Options{Workers: *workers})
+	}
 	if *tree {
 		fmt.Print(report.ProcessTree(tr, results))
 		fmt.Println()
 	}
 	var rows []*report.Breakdown
-	for _, p := range tr.ProcIDs() {
+	for _, p := range sortedProcs(results) {
 		res := results[p]
-		label := tr.Meta.Procs[p].Name
+		label := meta.Procs[p].Name
 		if label == "" {
 			label = fmt.Sprintf("proc%d", p)
 		}
@@ -71,12 +117,23 @@ func main() {
 		fmt.Print(report.CSV(rows))
 		return
 	}
-	fmt.Print(report.Table("RL-Scope time breakdown: "+tr.Meta.Workload, rows))
+	fmt.Print(report.Table("RL-Scope time breakdown: "+meta.Workload, rows))
 	if *phases {
 		names := map[trace.ProcID]string{}
-		for p, info := range tr.Meta.Procs {
+		for p, info := range meta.Procs {
 			names[p] = info.Name
 		}
 		fmt.Print(report.PhaseTable("Training phases", overlap.PhasesByProc(tr), names))
 	}
+}
+
+// sortedProcs returns the result map's process IDs in ascending order — the
+// same order trace.ProcIDs yields for a materialized trace.
+func sortedProcs(results map[trace.ProcID]*overlap.Result) []trace.ProcID {
+	procs := make([]trace.ProcID, 0, len(results))
+	for p := range results {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return procs
 }

@@ -1,0 +1,99 @@
+// Command rlscope-benchgate is the CI benchmark-regression gate: it parses
+// `go test -bench` output, aggregates repeated runs, compares the minimum
+// ns/op per benchmark against a committed baseline with a tolerance
+// multiplier, and exits non-zero on regression (or when a gated benchmark
+// stopped running). See internal/benchgate for the noise policy.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Parallel|Streaming' -count=5 . | tee bench.txt
+//	rlscope-benchgate -bench bench.txt -baseline BENCH_BASELINE.json -out bench_new.json
+//	rlscope-benchgate -bench bench.txt -baseline BENCH_BASELINE.json -update  # refresh baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchgate"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "file with `go test -bench` output (- for stdin; required)")
+		basePath  = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline JSON")
+		tolerance = flag.Float64("tolerance", 0, "allowed slowdown multiplier (0 = use baseline's)")
+		outPath   = flag.String("out", "", "write measured results as JSON (CI artifact)")
+		note      = flag.String("note", "", "note to embed when writing -out/-update JSON")
+		update    = flag.Bool("update", false, "rewrite the baseline from the measured results and exit")
+	)
+	flag.Parse()
+	if *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "rlscope-benchgate: -bench is required")
+		os.Exit(2)
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if *benchPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*benchPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	results := benchgate.Parse(string(data))
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in %s", *benchPath))
+	}
+
+	if *update {
+		tol := *tolerance
+		if tol <= 0 {
+			if base, err := benchgate.LoadBaseline(*basePath); err == nil {
+				tol = base.Tolerance
+			}
+		}
+		if tol <= 0 {
+			tol = benchgate.DefaultTolerance
+		}
+		if err := benchgate.WriteJSON(*basePath, *note, tol, results); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rlscope-benchgate: wrote %d benchmarks to %s\n", len(results), *basePath)
+		return
+	}
+
+	base, err := benchgate.LoadBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		if err := benchgate.WriteJSON(*outPath, *note, base.Tolerance, results); err != nil {
+			fatal(err)
+		}
+	}
+	tol := *tolerance
+	if tol <= 0 {
+		tol = base.Tolerance
+	}
+	if tol <= 0 {
+		tol = benchgate.DefaultTolerance
+	}
+	verdicts, failed := benchgate.Compare(base, results, tol)
+	fmt.Print(benchgate.Report(verdicts, tol))
+	if failed {
+		fmt.Fprintln(os.Stderr, "rlscope-benchgate: FAIL — benchmark regression against", *basePath)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "rlscope-benchgate: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlscope-benchgate:", err)
+	os.Exit(1)
+}

@@ -18,7 +18,7 @@ import (
 
 var order = []string{
 	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-	"fig9", "fig10", "fig11", "c4", "scaling",
+	"fig9", "fig10", "fig11", "c4", "scaling", "stream",
 }
 
 func main() {
@@ -115,6 +115,12 @@ func runOne(id string, opts experiments.Options) error {
 		fmt.Println(r.Render())
 	case "scaling":
 		r, err := experiments.Figure8Scaling(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "stream":
+		r, err := experiments.StreamReplay(opts)
 		if err != nil {
 			return err
 		}

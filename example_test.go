@@ -2,6 +2,7 @@ package rlscope_test
 
 import (
 	"fmt"
+	"os"
 
 	rlscope "repro"
 	"repro/internal/cuda"
@@ -97,6 +98,54 @@ func ExampleAnalyzeParallel() {
 	// Output:
 	// processes analyzed: 4
 	// worker0 mcts time:   5ms
+}
+
+// ExampleAnalyzeDir streams a chunked trace directory through the analysis
+// engine with bounded memory: chunks are decoded lazily and each
+// (process, phase) shard is analyzed as soon as its last contributing chunk
+// arrives. The result is byte-identical to materializing the trace first.
+func ExampleAnalyzeDir() {
+	p := rlscope.New(rlscope.Options{Workload: "streaming-example", Seed: 7})
+	sess := p.NewProcess("trainer", -1, 0)
+	sess.SetPhase("training")
+	for i := 0; i < 50; i++ {
+		sess.WithOperation("inference", func() {
+			sess.Clock().Advance(vclock.Millisecond)
+		})
+	}
+	sess.Close()
+
+	dir, err := os.MkdirTemp("", "rlscope-example-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := p.WriteTo(dir); err != nil {
+		panic(err)
+	}
+
+	results, err := rlscope.AnalyzeDir(dir, rlscope.AnalysisOptions{
+		Workers:          2,
+		MaxResidentBytes: 32 << 10, // keep ≤ ~32 KiB of decoded events resident
+	})
+	if err != nil {
+		panic(err)
+	}
+	materialized := rlscope.AnalyzeParallel(mustReadDir(dir), rlscope.AnalysisOptions{Workers: 1})
+	fmt.Println("inference time:", results[0].OpTotal("inference"))
+	fmt.Println("identical to materialized analysis:",
+		results[0].OpTotal("inference") == materialized[0].OpTotal("inference"))
+	// Output:
+	// inference time: 50ms
+	// identical to materialized analysis: true
+}
+
+func mustReadDir(dir string) *rlscope.Trace {
+	tr, err := trace.ReadDir(dir)
+	if err != nil {
+		panic(err)
+	}
+	return tr
 }
 
 // ExampleCalibrate measures the profiler's own book-keeping costs and

@@ -24,6 +24,15 @@ type Options struct {
 	// Workers is the number of concurrent shard workers. Zero or negative
 	// selects one worker per available CPU; 1 runs strictly sequentially.
 	Workers int
+	// MaxResidentBytes, when positive, bounds the estimated bytes of
+	// decoded events the streaming engine (RunStream) keeps resident:
+	// whenever buffered shards exceed the budget, windows whose prefix can
+	// no longer receive events are finalized early and their dead events
+	// dropped, carrying only still-open intervals forward. The bound is
+	// best-effort — a single chunk, plus intervals genuinely open across
+	// the whole trace, must stay resident regardless. Ignored by Run,
+	// which materializes the trace by definition.
+	MaxResidentBytes int64
 }
 
 // Run computes the per-process cross-stack overlap breakdown of a trace by

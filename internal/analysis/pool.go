@@ -10,6 +10,58 @@ import (
 // available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// Pool is the streaming face of the shard worker pool: jobs are submitted
+// one at a time as a producer discovers them (RunStream dispatches a shard
+// the moment its last contributing chunk has been decoded) instead of as a
+// pre-sized index range. A pool of one executes jobs inline on the
+// submitting goroutine, so single-worker streaming is strictly sequential,
+// exactly like ForEach(1, ...).
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// NewPool starts a pool of workers; workers <= 0 selects DefaultWorkers.
+// Callers must Wait exactly once after the last Submit.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{}
+	if workers == 1 {
+		return p // inline mode: no goroutines, no channel
+	}
+	p.jobs = make(chan func(), workers)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit schedules one job. In inline mode it runs before Submit returns.
+func (p *Pool) Submit(fn func()) {
+	if p.jobs == nil {
+		fn()
+		return
+	}
+	p.jobs <- fn
+}
+
+// Wait closes the pool and blocks until every submitted job has finished.
+func (p *Pool) Wait() {
+	if p.jobs == nil {
+		return
+	}
+	close(p.jobs)
+	p.wg.Wait()
+}
+
 // ForEach runs fn(0), …, fn(n-1) across a pool of workers and returns the
 // lowest-index error, or nil. workers <= 0 selects DefaultWorkers; a pool
 // of one runs inline with no goroutines, so single-worker execution is

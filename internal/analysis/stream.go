@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// StreamStats reports what a streaming analysis did: how much it read, how
+// it scheduled the work, and the peak number of decoded events it ever held
+// resident — the quantity MaxResidentBytes bounds.
+type StreamStats struct {
+	// Chunks and Events count the chunk files decoded and events routed.
+	Chunks, Events int
+	// Shards counts window computations dispatched to the pool, including
+	// partial prefix windows finalized early by the memory budget.
+	Shards int
+	// Evictions counts forced prefix finalizations triggered by
+	// MaxResidentBytes.
+	Evictions int
+	// PeakResidentEvents and PeakResidentBytes track the high-water mark
+	// of decoded events resident at once (buffered in open shards, in the
+	// chunk decode buffer, or in flight to a worker).
+	PeakResidentEvents int
+	PeakResidentBytes  int64
+}
+
+// streamShard is the accumulating state of one (process, window) analysis
+// unit during a streaming run. lo advances past finalized prefixes; events
+// holds the routed events still needed for [lo, hi) — open intervals carried
+// across chunk (and eviction) boundaries plus everything not yet swept.
+type streamShard struct {
+	proc   trace.ProcID
+	lo, hi vclock.Time
+	events []trace.Event
+	bytes  int64
+	// chunks lists, in ascending order, the chunk ids that may contribute
+	// events to this shard; next indexes the first one not yet decoded.
+	chunks []int
+	next   int
+	// watermarks[j] is the minimum event start time across chunks[j:] for
+	// this shard's process: no event from a not-yet-decoded chunk can
+	// begin before watermarks[next], so the prefix [lo, watermarks[next])
+	// is complete and may be finalized early.
+	watermarks []vclock.Time
+}
+
+// RunStream computes the same per-process overlap breakdown as Run, but from
+// a chunked trace directory without ever materializing the whole trace: it
+// decodes chunks lazily through r (one reusable buffer), routes events into
+// per-(process, phase-window) shards planned from the chunk sidecar indexes,
+// and dispatches each shard to the worker pool the moment its last
+// contributing chunk has been read. Open intervals are carried across chunk
+// boundaries; under a MaxResidentBytes budget, complete window prefixes are
+// finalized early and merged — exactly, because window partitions of the
+// overlap sweep sum to the whole (see overlap.ComputeWindow).
+//
+// The result is byte-identical to Run(ReadDir(dir)) for every worker count
+// and every memory budget.
+func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result, StreamStats, error) {
+	var stats StreamStats
+	n := r.NumChunks()
+	stats.Chunks = n
+
+	// Plan from sidecar metadata alone: per-chunk process spans give each
+	// shard its contributing-chunk list and watermarks; sidecar phase
+	// events give each process its window partition.
+	indexes := make([]*trace.ChunkIndex, n)
+	phaseEvents := map[trace.ProcID][]trace.Event{}
+	procSeen := map[trace.ProcID]bool{}
+	for i := 0; i < n; i++ {
+		ix, err := r.Index(i)
+		if err != nil {
+			return nil, stats, err
+		}
+		indexes[i] = ix
+		for p := range ix.Procs {
+			procSeen[p] = true
+		}
+		for _, pe := range ix.Phases {
+			phaseEvents[pe.Proc] = append(phaseEvents[pe.Proc], pe)
+		}
+	}
+	procs := make([]trace.ProcID, 0, len(procSeen))
+	for p := range procSeen {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+
+	out := map[trace.ProcID]*overlap.Result{}
+	for _, p := range procs {
+		out[p] = &overlap.Result{
+			ByKey:       map[overlap.Key]vclock.Duration{},
+			Transitions: map[overlap.TransitionKey]int{},
+		}
+	}
+
+	// Shards in (process, window) order; evictions scan this order, so the
+	// schedule — not just the result — is reproducible for one worker.
+	shardsByProc := map[trace.ProcID][]*streamShard{}
+	var allShards []*streamShard
+	for _, p := range procs {
+		for _, w := range trace.PhasePartition(phaseEvents[p]) {
+			sh := &streamShard{proc: p, lo: w.Lo, hi: w.Hi}
+			shardsByProc[p] = append(shardsByProc[p], sh)
+			allShards = append(allShards, sh)
+		}
+	}
+	chunkShards := make([][]*streamShard, n)
+	for i, ix := range indexes {
+		for p, span := range ix.Procs {
+			for _, sh := range shardsByProc[p] {
+				// Conservative relevance: every event of p in this chunk
+				// has start >= span.MinStart and end <= span.MaxEnd, so
+				// nothing can overlap [lo, hi) unless the span does.
+				if span.MinStart < sh.hi && span.MaxEnd >= sh.lo {
+					sh.chunks = append(sh.chunks, i)
+					chunkShards[i] = append(chunkShards[i], sh)
+				}
+			}
+		}
+	}
+	for _, sh := range allShards {
+		sh.watermarks = make([]vclock.Time, len(sh.chunks))
+		min := vclock.MaxTime
+		for j := len(sh.chunks) - 1; j >= 0; j-- {
+			if ms := indexes[sh.chunks[j]].Procs[sh.proc].MinStart; ms < min {
+				min = ms
+			}
+			sh.watermarks[j] = min
+		}
+	}
+
+	// The merge side: commutative integer sums plus span extremes, so
+	// concurrent completion order cannot leak into results.
+	var mu sync.Mutex
+	var inflightBytes, inflightEvents atomic.Int64
+	pool := NewPool(opts.Workers)
+	dispatch := func(proc trace.ProcID, events []trace.Event, bytes int64, lo, hi vclock.Time) {
+		if len(events) == 0 {
+			return
+		}
+		stats.Shards++
+		inflightBytes.Add(bytes)
+		inflightEvents.Add(int64(len(events)))
+		pool.Submit(func() {
+			res := overlap.ComputeWindow(events, lo, hi)
+			mu.Lock()
+			mergeShard(out[proc], res)
+			mu.Unlock()
+			inflightBytes.Add(-bytes)
+			inflightEvents.Add(-int64(len(events)))
+		})
+	}
+
+	var bufferedBytes int64
+	var bufferedEvents int
+	sample := func(chunkBytes int64, chunkEvents int) {
+		bytes := bufferedBytes + chunkBytes + inflightBytes.Load()
+		events := bufferedEvents + chunkEvents + int(inflightEvents.Load())
+		if bytes > stats.PeakResidentBytes {
+			stats.PeakResidentBytes = bytes
+		}
+		if events > stats.PeakResidentEvents {
+			stats.PeakResidentEvents = events
+		}
+	}
+
+	// evict finalizes the complete prefix [lo, watermark) of buffered,
+	// still-incomplete shards — in fixed shard order, stopping as soon as
+	// the resident total is back under budget — and drops events that can
+	// no longer matter, carrying open intervals forward into the shrunken
+	// window. The in-flight side of the stop condition drains at worker
+	// speed; to keep that pressure from degenerating into busywork, shards
+	// whose prefix would free nothing (every buffered event still alive at
+	// the watermark) are skipped — dispatching them would cost a window
+	// computation without reducing residency.
+	evict := func(budget int64) {
+		for _, sh := range allShards {
+			if bufferedBytes+inflightBytes.Load() <= budget {
+				return
+			}
+			if len(sh.events) == 0 || sh.next >= len(sh.chunks) {
+				continue // empty, or already complete and dispatched
+			}
+			cut := sh.watermarks[sh.next]
+			if cut <= sh.lo {
+				continue // future chunks may still start before lo
+			}
+			freeable := false
+			for _, e := range sh.events {
+				if trace.DeadBefore(e, cut) {
+					freeable = true
+					break
+				}
+			}
+			if !freeable {
+				continue
+			}
+			// Relevance guarantees every remaining chunk's MinStart < hi,
+			// so cut < hi and [lo, cut) is a strict prefix. Partition the
+			// buffer: the prefix computation needs only events overlapping
+			// [lo, cut); the shard carries forward whatever is still alive
+			// at the cut (events spanning it appear in both — ComputeWindow
+			// restricts accumulation, not classification, so no instant is
+			// counted twice).
+			var prefix, survivors []trace.Event
+			var prefixBytes, bytes int64
+			for _, e := range sh.events {
+				if trace.OverlapsWindow(e, sh.lo, cut) {
+					prefix = append(prefix, e)
+					prefixBytes += int64(trace.EventBytes(e))
+				}
+				if !trace.DeadBefore(e, cut) {
+					survivors = append(survivors, e)
+					bytes += int64(trace.EventBytes(e))
+				}
+			}
+			dispatch(sh.proc, prefix, prefixBytes, sh.lo, cut)
+			stats.Evictions++
+			bufferedBytes += bytes - sh.bytes
+			bufferedEvents += len(survivors) - len(sh.events)
+			sh.events, sh.bytes, sh.lo = survivors, bytes, cut
+		}
+	}
+
+	var buf []trace.Event
+	for i := 0; i < n; i++ {
+		var err error
+		buf, err = r.ReadChunk(i, buf[:0])
+		if err != nil {
+			pool.Wait()
+			return nil, stats, err
+		}
+		stats.Events += len(buf)
+		var chunkBytes int64
+		for _, e := range buf {
+			chunkBytes += int64(trace.EventBytes(e))
+			for _, sh := range shardsByProc[e.Proc] {
+				if trace.OverlapsWindow(e, sh.lo, sh.hi) {
+					sh.events = append(sh.events, e)
+					sh.bytes += int64(trace.EventBytes(e))
+					bufferedBytes += int64(trace.EventBytes(e))
+					bufferedEvents++
+				}
+			}
+		}
+		sample(chunkBytes, len(buf))
+		for _, sh := range chunkShards[i] {
+			sh.next++
+			if sh.next == len(sh.chunks) {
+				// Last contributing chunk decoded: the window is complete.
+				dispatch(sh.proc, sh.events, sh.bytes, sh.lo, sh.hi)
+				bufferedBytes -= sh.bytes
+				bufferedEvents -= len(sh.events)
+				sh.events, sh.bytes = nil, 0
+			}
+		}
+		if opts.MaxResidentBytes > 0 && bufferedBytes+inflightBytes.Load() > opts.MaxResidentBytes {
+			evict(opts.MaxResidentBytes)
+		}
+		sample(0, 0)
+	}
+	pool.Wait()
+	return out, stats, nil
+}

@@ -1,0 +1,186 @@
+// Package benchgate turns `go test -bench` output into a CI regression
+// gate: it parses benchmark results, aggregates repeated runs (-count=N)
+// into per-benchmark statistics, and compares them against a committed
+// baseline with a tolerance multiplier. The gate follows the
+// experiment-automation discipline of the Collective Knowledge pipelines
+// and the BLIS experiment standards: a perf claim only counts if an
+// automated, repeatable harness re-checks it on every change.
+//
+// Noise policy: CI machines are shared and noisy, so the gate compares the
+// *minimum* ns/op across repeats (the least-interrupted run — the standard
+// low-noise estimator for microbenchmarks) and fails only past a generous
+// multiplicative tolerance. The baseline records the numbers of one
+// reference machine; regressions are judged relative, never absolute.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result aggregates the repeated runs of one benchmark.
+type Result struct {
+	// NsPerOp is the minimum ns/op across runs.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Runs is how many times the benchmark ran (-count).
+	Runs int `json:"runs"`
+	// MaxNsPerOp is the maximum ns/op across runs, a noise indicator.
+	MaxNsPerOp float64 `json:"max_ns_per_op,omitempty"`
+}
+
+// Baseline is the committed reference file the gate compares against.
+type Baseline struct {
+	// Note documents where the numbers came from.
+	Note string `json:"note,omitempty"`
+	// Tolerance is the default allowed slowdown multiplier (e.g. 2.0:
+	// fail when min ns/op exceeds 2x the baseline). Command-line override
+	// wins; zero falls back to DefaultTolerance.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Benchmarks maps the normalized benchmark name (GOMAXPROCS suffix
+	// stripped) to its reference result.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// DefaultTolerance is the allowed slowdown multiplier when neither the
+// baseline nor the caller specifies one.
+const DefaultTolerance = 2.0
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkParallelAnalysis/workers=2-8   100   123456 ns/op   94010 events
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Parse reads `go test -bench` output and aggregates repeated runs per
+// normalized benchmark name.
+func Parse(output string) map[string]Result {
+	out := map[string]Result{}
+	for _, line := range strings.Split(output, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		name := m[1]
+		r, seen := out[name]
+		if !seen || ns < r.NsPerOp {
+			r.NsPerOp = ns
+		}
+		if ns > r.MaxNsPerOp {
+			r.MaxNsPerOp = ns
+		}
+		r.Runs++
+		out[name] = r
+	}
+	return out
+}
+
+// Verdict is the outcome of comparing one benchmark against the baseline.
+type Verdict struct {
+	Name     string
+	Baseline float64 // baseline min ns/op
+	Current  float64 // measured min ns/op; 0 when missing
+	Ratio    float64 // Current / Baseline
+	// Status is "ok", "regression", "missing" (in baseline but not
+	// measured), or "new" (measured but not in baseline — informational).
+	Status string
+}
+
+// Compare judges measured results against the baseline. tolerance <= 0
+// selects the baseline's own tolerance, falling back to DefaultTolerance.
+// Verdicts are sorted by name; failed reports whether any benchmark
+// regressed or went missing.
+func Compare(base *Baseline, current map[string]Result, tolerance float64) (verdicts []Verdict, failed bool) {
+	if tolerance <= 0 {
+		tolerance = base.Tolerance
+	}
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ref := base.Benchmarks[name]
+		v := Verdict{Name: name, Baseline: ref.NsPerOp}
+		cur, ok := current[name]
+		switch {
+		case !ok:
+			// A benchmark that silently stops running is as bad as a
+			// regression: the gate would otherwise pass vacuously.
+			v.Status = "missing"
+			failed = true
+		default:
+			v.Current = cur.NsPerOp
+			if ref.NsPerOp > 0 {
+				v.Ratio = cur.NsPerOp / ref.NsPerOp
+			}
+			if v.Ratio > tolerance {
+				v.Status = "regression"
+				failed = true
+			} else {
+				v.Status = "ok"
+			}
+		}
+		verdicts = append(verdicts, v)
+	}
+	extra := make([]string, 0)
+	for name := range current {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		verdicts = append(verdicts, Verdict{Name: name, Current: current[name].NsPerOp, Status: "new"})
+	}
+	return verdicts, failed
+}
+
+// Report renders verdicts as an aligned text table.
+func Report(verdicts []Verdict, tolerance float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-60s %14s %14s %7s %s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "status")
+	for _, v := range verdicts {
+		ratio := "-"
+		if v.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", v.Ratio)
+		}
+		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %7s %s\n", v.Name, v.Baseline, v.Current, ratio, v.Status)
+	}
+	fmt.Fprintf(&sb, "tolerance: fail above %.2fx baseline\n", tolerance)
+	return sb.String()
+}
+
+// LoadBaseline reads a baseline JSON file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: reading baseline: %w", err)
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("benchgate: decoding baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteJSON writes a baseline-shaped file from measured results — used both
+// to refresh the committed baseline (-update) and to upload the current
+// numbers as a CI artifact.
+func WriteJSON(path, note string, tolerance float64, results map[string]Result) error {
+	data, err := json.MarshalIndent(&Baseline{Note: note, Tolerance: tolerance, Benchmarks: results}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: encoding results: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,152 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelAnalysis/workers=1-8         	     100	  51000000 ns/op	     94010 events
+BenchmarkParallelAnalysis/workers=1-8         	     100	  50000000 ns/op	     94010 events
+BenchmarkParallelAnalysis/workers=1-8         	     100	  52000000 ns/op	     94010 events
+BenchmarkParallelAnalysis/workers=2-8         	     100	  30000000 ns/op	     94010 events
+BenchmarkStreamingAnalysis/stream/workers=1   	       2	  58000000 ns/op	     22186 peak-resident-events
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseAggregatesRuns(t *testing.T) {
+	got := Parse(sampleOutput)
+	w1 := got["BenchmarkParallelAnalysis/workers=1"]
+	if w1.Runs != 3 {
+		t.Fatalf("workers=1 runs = %d, want 3", w1.Runs)
+	}
+	if w1.NsPerOp != 50000000 {
+		t.Fatalf("workers=1 min ns/op = %f, want 50000000 (minimum of repeats)", w1.NsPerOp)
+	}
+	if w1.MaxNsPerOp != 52000000 {
+		t.Fatalf("workers=1 max ns/op = %f, want 52000000", w1.MaxNsPerOp)
+	}
+	if got["BenchmarkParallelAnalysis/workers=2"].NsPerOp != 30000000 {
+		t.Fatalf("workers=2 parsed wrong: %+v", got)
+	}
+	// The -8 GOMAXPROCS suffix must be normalized away so baselines
+	// transfer between machines with different core counts.
+	for name := range got {
+		if strings.HasSuffix(name, "-8") {
+			t.Fatalf("name %q kept its GOMAXPROCS suffix", name)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+}
+
+func baselineFor(results map[string]Result) *Baseline {
+	return &Baseline{Tolerance: 1.5, Benchmarks: results}
+}
+
+func TestCompareOK(t *testing.T) {
+	base := baselineFor(Parse(sampleOutput))
+	verdicts, failed := Compare(base, Parse(sampleOutput), 0)
+	if failed {
+		t.Fatalf("identical results failed the gate: %+v", verdicts)
+	}
+	for _, v := range verdicts {
+		if v.Status != "ok" {
+			t.Fatalf("verdict %+v, want ok", v)
+		}
+		if v.Ratio < 0.99 || v.Ratio > 1.01 {
+			t.Fatalf("identical results ratio %f", v.Ratio)
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := baselineFor(Parse(sampleOutput))
+	slow := Parse(strings.ReplaceAll(sampleOutput, "30000000 ns/op", "90000000 ns/op"))
+	verdicts, failed := Compare(base, slow, 0)
+	if !failed {
+		t.Fatal("3x slowdown passed a 1.5x gate")
+	}
+	var found bool
+	for _, v := range verdicts {
+		if v.Name == "BenchmarkParallelAnalysis/workers=2" {
+			found = true
+			if v.Status != "regression" || v.Ratio < 2.9 || v.Ratio > 3.1 {
+				t.Fatalf("verdict %+v, want 3x regression", v)
+			}
+		} else if v.Status == "regression" {
+			t.Fatalf("unexpected regression verdict %+v", v)
+		}
+	}
+	if !found {
+		t.Fatal("regressed benchmark missing from verdicts")
+	}
+}
+
+func TestCompareToleranceAbsorbsNoise(t *testing.T) {
+	base := baselineFor(Parse(sampleOutput))
+	noisy := Parse(strings.ReplaceAll(sampleOutput, "30000000 ns/op", "41000000 ns/op"))
+	if _, failed := Compare(base, noisy, 0); failed {
+		t.Fatal("1.37x noise failed a 1.5x gate")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := baselineFor(Parse(sampleOutput))
+	partial := Parse(strings.ReplaceAll(sampleOutput, "BenchmarkStreamingAnalysis", "BenchmarkRenamed"))
+	verdicts, failed := Compare(base, partial, 0)
+	if !failed {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	var sawMissing, sawNew bool
+	for _, v := range verdicts {
+		switch v.Status {
+		case "missing":
+			sawMissing = v.Name == "BenchmarkStreamingAnalysis/stream/workers=1"
+		case "new":
+			sawNew = v.Name == "BenchmarkRenamed/stream/workers=1"
+		}
+	}
+	if !sawMissing || !sawNew {
+		t.Fatalf("verdicts %+v: want missing old name and new new name", verdicts)
+	}
+}
+
+func TestCompareCommandLineToleranceWins(t *testing.T) {
+	base := baselineFor(Parse(sampleOutput))
+	slow := Parse(strings.ReplaceAll(sampleOutput, "30000000 ns/op", "41000000 ns/op"))
+	if _, failed := Compare(base, slow, 1.2); !failed {
+		t.Fatal("1.37x slowdown passed an explicit 1.2x gate")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	results := Parse(sampleOutput)
+	if err := WriteJSON(path, "unit test", 1.5, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tolerance != 1.5 || got.Note != "unit test" {
+		t.Fatalf("baseline header %+v", got)
+	}
+	if len(got.Benchmarks) != len(results) {
+		t.Fatalf("round trip lost benchmarks: %d vs %d", len(got.Benchmarks), len(results))
+	}
+	if got.Benchmarks["BenchmarkParallelAnalysis/workers=1"].NsPerOp != 50000000 {
+		t.Fatalf("round trip changed numbers: %+v", got.Benchmarks)
+	}
+	if Report(nil, 1.5) == "" || Report([]Verdict{{Name: "x", Status: "ok"}}, 1.5) == "" {
+		t.Fatal("empty report")
+	}
+}

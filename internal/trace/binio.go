@@ -160,6 +160,11 @@ func DecodeChunk(r io.Reader, dst []Event) ([]Event, error) {
 			return dst, fmt.Errorf("trace: decode: event %d dur: %w", i, err)
 		}
 		e.End = e.Start.Add(durFromUint64(dur))
+		// A duration past MaxInt64, or one that overflows past MaxTime,
+		// wraps to End < Start; valid encoders never emit either.
+		if e.End < e.Start {
+			return dst, fmt.Errorf("trace: decode: event %d duration %d overflows", i, dur)
+		}
 		ref, err := binary.ReadUvarint(br)
 		if err != nil {
 			return dst, fmt.Errorf("trace: decode: event %d name ref: %w", i, err)

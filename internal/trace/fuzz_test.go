@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// seedChunk encodes events into bytes for the fuzz corpus.
+func seedChunk(events []Event) []byte {
+	var buf bytes.Buffer
+	if err := EncodeChunk(&buf, events); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeChunk feeds arbitrary bytes to the chunk decoder. Two
+// properties must hold: the decoder never panics on garbage, and anything
+// it accepts re-encodes and re-decodes to the identical event list (every
+// decodable chunk is a fixed point of the round trip). The seed corpus —
+// empty chunks, point events, string-table reuse, random multi-kind chunks,
+// plus truncations and bit flips — runs on every plain `go test`, so CI
+// exercises the interesting paths without a fuzzing engine.
+func FuzzDecodeChunk(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RLSC"))
+	f.Add([]byte("NOTATRACE"))
+	f.Add(seedChunk(nil))
+	f.Add(seedChunk([]Event{
+		{Kind: KindOverhead, Overhead: OverheadCUPTI, Proc: 0, Start: 5, End: 5, Name: "cudaLaunchKernel"},
+		{Kind: KindTransition, Proc: 1, Start: 7, End: 7, Name: TransPythonToBackend},
+	}))
+	full := seedChunk(randomEvents(rand.New(rand.NewSource(31)), 64))
+	f.Add(full)
+	f.Add(full[:len(full)/2])                   // truncation mid-stream
+	f.Add(append([]byte("RLSC\x01\xff"), 0xff)) // huge count, no data
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeChunk(bytes.NewReader(data), nil)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		for i, e := range events {
+			if e.End < e.Start {
+				t.Fatalf("decoder accepted event %d with End %d < Start %d", i, e.End, e.Start)
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeChunk(&buf, events); err != nil {
+			t.Fatalf("re-encoding %d decoded events failed: %v", len(events), err)
+		}
+		again, err := DecodeChunk(&buf, nil)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if len(events) == 0 && len(again) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatalf("round trip not a fixed point:\n first %+v\nsecond %+v", events, again)
+		}
+	})
+}
+
+// FuzzChunkRoundTrip derives a pseudo-random event list from the fuzz input
+// and asserts the encode/decode round trip exactly — the property-test
+// complement to FuzzDecodeChunk, fuzzing the encoder side (empty chunks and
+// point events included via the zero seeds).
+func FuzzChunkRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint16(0))
+	f.Add(int64(1), uint16(1))
+	f.Add(int64(42), uint16(300))
+	f.Add(int64(-7), uint16(4096))
+	f.Fuzz(func(t *testing.T, seed int64, size uint16) {
+		if size > 8192 {
+			size = 8192
+		}
+		events := randomEvents(rand.New(rand.NewSource(seed)), int(size))
+		var buf bytes.Buffer
+		if err := EncodeChunk(&buf, events); err != nil {
+			t.Fatalf("EncodeChunk: %v", err)
+		}
+		got, err := DecodeChunk(&buf, nil)
+		if err != nil {
+			t.Fatalf("DecodeChunk: %v", err)
+		}
+		if len(events) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty chunk decoded to %d events", len(got))
+			}
+			return
+		}
+		if !reflect.DeepEqual(events, got) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

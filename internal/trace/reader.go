@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/vclock"
+)
+
+// sidecar file naming: chunk_000003.rlstrace -> chunk_000003.rlsidx
+const (
+	chunkSuffix   = ".rlstrace"
+	sidecarSuffix = ".rlsidx"
+)
+
+// ChunkError identifies which chunk file of a trace directory failed to
+// decode (truncated, corrupt, or unreadable). Callers can unwrap it with
+// errors.As to recover the offending file.
+type ChunkError struct {
+	// Dir is the trace directory.
+	Dir string
+	// Chunk is the chunk file name within Dir.
+	Chunk string
+	// Err is the underlying decode or I/O error.
+	Err error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("trace: chunk %s in %s: %v", e.Chunk, e.Dir, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// ProcSpan summarizes one process's events within a single chunk.
+type ProcSpan struct {
+	// MinStart and MaxEnd bound the extents of the process's events in
+	// the chunk (for point events End == Start).
+	MinStart vclock.Time `json:"min_start"`
+	MaxEnd   vclock.Time `json:"max_end"`
+	// Events counts the process's events in the chunk.
+	Events int `json:"events"`
+}
+
+// ChunkIndex is the per-chunk sidecar the Writer emits at flush time: enough
+// metadata for a streaming reader to plan an analysis — which processes a
+// chunk touches, over what time extent, and the phase annotations it carries
+// (phase events are few, so copying them into the sidecar lets the planner
+// derive the per-process window partition without decoding any chunk).
+type ChunkIndex struct {
+	Version int `json:"version"`
+	// Events is the total event count of the chunk.
+	Events int `json:"events"`
+	// Bytes is the encoded size of the chunk file.
+	Bytes int64 `json:"bytes"`
+	// Procs maps each process present in the chunk to its span.
+	Procs map[ProcID]ProcSpan `json:"procs"`
+	// Phases holds copies of the chunk's KindPhase events.
+	Phases []Event `json:"phases,omitempty"`
+}
+
+// BuildChunkIndex derives the sidecar index for one chunk's events.
+// encodedBytes records the serialized chunk size.
+func BuildChunkIndex(events []Event, encodedBytes int64) *ChunkIndex {
+	ix := &ChunkIndex{
+		Version: chunkVersion,
+		Events:  len(events),
+		Bytes:   encodedBytes,
+		Procs:   map[ProcID]ProcSpan{},
+	}
+	for _, e := range events {
+		sp, ok := ix.Procs[e.Proc]
+		if !ok {
+			sp = ProcSpan{MinStart: e.Start, MaxEnd: e.End}
+		}
+		if e.Start < sp.MinStart {
+			sp.MinStart = e.Start
+		}
+		if e.End > sp.MaxEnd {
+			sp.MaxEnd = e.End
+		}
+		sp.Events++
+		ix.Procs[e.Proc] = sp
+		if e.Kind == KindPhase {
+			ix.Phases = append(ix.Phases, e)
+		}
+	}
+	return ix
+}
+
+func sidecarPath(chunkPath string) string {
+	return strings.TrimSuffix(chunkPath, chunkSuffix) + sidecarSuffix
+}
+
+// Reader iterates a chunked trace directory lazily: chunks are decoded one
+// at a time into a caller-supplied buffer, and per-chunk sidecar indexes are
+// served without decoding events, so an analysis never needs the whole trace
+// resident. Use ReadDir instead when the full materialized Trace is wanted.
+//
+// Reader methods are not safe for concurrent use.
+type Reader struct {
+	dir   string
+	names []string // chunk file names, sorted
+	meta  Meta
+}
+
+// OpenDir opens a trace directory previously written by Writer: it lists
+// the chunk files and reads the run metadata, decoding no events.
+func OpenDir(dir string) (*Reader, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading trace dir: %w", err)
+	}
+	r := &Reader{dir: dir}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), chunkSuffix) {
+			r.names = append(r.names, ent.Name())
+		}
+	}
+	sort.Strings(r.names)
+	metaData, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading metadata: %w", err)
+	}
+	if err := json.Unmarshal(metaData, &r.meta); err != nil {
+		return nil, fmt.Errorf("trace: decoding metadata: %w", err)
+	}
+	return r, nil
+}
+
+// Meta returns the run metadata.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// NumChunks reports the number of chunk files in the directory.
+func (r *Reader) NumChunks() int { return len(r.names) }
+
+// ChunkName returns the file name of chunk i.
+func (r *Reader) ChunkName(i int) string { return r.names[i] }
+
+// ReadChunk decodes chunk i, appending its events to dst and returning the
+// extended slice. Passing the previous call's slice re-sliced to [:0] reuses
+// its backing array, so a streaming loop allocates one buffer for the whole
+// trace. Decode failures are reported as *ChunkError.
+func (r *Reader) ReadChunk(i int, dst []Event) ([]Event, error) {
+	name := r.names[i]
+	f, err := os.Open(filepath.Join(r.dir, name))
+	if err != nil {
+		return dst, &ChunkError{Dir: r.dir, Chunk: name, Err: err}
+	}
+	defer f.Close()
+	out, err := DecodeChunk(f, dst)
+	if err != nil {
+		return out, &ChunkError{Dir: r.dir, Chunk: name, Err: err}
+	}
+	return out, nil
+}
+
+// Index returns the sidecar index of chunk i. When the sidecar file is
+// missing or unreadable (traces written before sidecars existed), the chunk
+// is decoded once to rebuild the same index.
+func (r *Reader) Index(i int) (*ChunkIndex, error) {
+	path := filepath.Join(r.dir, sidecarPath(r.names[i]))
+	data, err := os.ReadFile(path)
+	if err == nil {
+		ix := &ChunkIndex{}
+		if jerr := json.Unmarshal(data, ix); jerr == nil && ix.Version == chunkVersion {
+			return ix, nil
+		}
+		// Corrupt or version-skewed sidecar: fall through to rebuild.
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, &ChunkError{Dir: r.dir, Chunk: sidecarPath(r.names[i]), Err: err}
+	}
+	events, err := r.ReadChunk(i, nil)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	if fi, err := os.Stat(filepath.Join(r.dir, r.names[i])); err == nil {
+		size = fi.Size()
+	}
+	return BuildChunkIndex(events, size), nil
+}

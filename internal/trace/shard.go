@@ -40,16 +40,16 @@ func (t *Trace) Shards() []Shard {
 		// each window starts past the prefix of events that ended before
 		// the window and stops at the first event starting after it.
 		base := 0
-		for _, w := range phaseWindows(events) {
-			for base < len(events) && deadBefore(events[base], w.lo) {
+		for _, w := range PhasePartition(events) {
+			for base < len(events) && deadBefore(events[base], w.Lo) {
 				base++
 			}
-			sh := Shard{Proc: p, Phase: w.phase, Lo: w.lo, Hi: w.hi}
+			sh := Shard{Proc: p, Phase: w.Phase, Lo: w.Lo, Hi: w.Hi}
 			for _, e := range events[base:] {
-				if e.Start >= w.hi {
+				if e.Start >= w.Hi {
 					break
 				}
-				if overlapsWindow(e, w.lo, w.hi) {
+				if OverlapsWindow(e, w.Lo, w.Hi) {
 					sh.Events = append(sh.Events, e)
 				}
 			}
@@ -61,33 +61,47 @@ func (t *Trace) Shards() []Shard {
 	return shards
 }
 
-// overlapsWindow reports whether the event intersects [lo, hi): interval
-// events by extent, point markers by membership of their instant.
-func overlapsWindow(e Event, lo, hi vclock.Time) bool {
+// OverlapsWindow reports whether the event intersects [lo, hi): interval
+// events by extent, point markers by membership of their instant. The
+// streaming analysis engine routes events to shards with the same predicate
+// Shards uses, which is what keeps the two paths byte-identical.
+func OverlapsWindow(e Event, lo, hi vclock.Time) bool {
 	if e.IsPoint() {
 		return lo <= e.Start && e.Start < hi
 	}
 	return e.End > lo && e.Start < hi
 }
 
-// deadBefore reports whether the event ends strictly before lo and so can
-// overlap neither a window starting at lo nor any later one.
-func deadBefore(e Event, lo vclock.Time) bool {
+// DeadBefore reports whether the event ends strictly before lo and so can
+// overlap neither a window starting at lo nor any later one. The streaming
+// engine uses it to drop events whose windows have been finalized while
+// carrying still-open intervals forward.
+func DeadBefore(e Event, lo vclock.Time) bool {
 	if e.IsPoint() {
 		return e.Start < lo
 	}
 	return e.End <= lo
 }
 
-type window struct {
-	phase  string
-	lo, hi vclock.Time
+// deadBefore is the internal alias Shards scans with.
+func deadBefore(e Event, lo vclock.Time) bool { return DeadBefore(e, lo) }
+
+// Window is one slice of a process's timeline in the per-phase partition:
+// the half-open extent [Lo, Hi) and the innermost phase covering it ("" for
+// time outside every phase annotation). The windows of one process partition
+// the whole timeline, which is what makes per-window analyses merge exactly.
+type Window struct {
+	Phase  string
+	Lo, Hi vclock.Time
 }
 
-// phaseWindows derives the partition of one process's timeline from its
+// PhasePartition derives the partition of one process's timeline from its
 // phase annotations: cut points at every phase boundary, windows between
-// consecutive cuts, labelled by the innermost phase covering them.
-func phaseWindows(events []Event) []window {
+// consecutive cuts, labelled by the innermost phase covering them. Only
+// KindPhase events with positive extent participate; any other events in the
+// slice are ignored, so callers may pass a full event list (Shards) or just
+// the phase events collected from chunk sidecars (the streaming planner).
+func PhasePartition(events []Event) []Window {
 	var phases []Event
 	cutSet := map[vclock.Time]bool{}
 	for _, e := range events {
@@ -98,7 +112,7 @@ func phaseWindows(events []Event) []window {
 		}
 	}
 	if len(phases) == 0 {
-		return []window{{lo: vclock.MinTime, hi: vclock.MaxTime}}
+		return []Window{{Lo: vclock.MinTime, Hi: vclock.MaxTime}}
 	}
 	cuts := make([]vclock.Time, 0, len(cutSet))
 	for t := range cutSet {
@@ -108,13 +122,13 @@ func phaseWindows(events []Event) []window {
 
 	bounds := append([]vclock.Time{vclock.MinTime}, cuts...)
 	bounds = append(bounds, vclock.MaxTime)
-	var windows []window
+	var windows []Window
 	for i := 0; i+1 < len(bounds); i++ {
 		lo, hi := bounds[i], bounds[i+1]
 		if lo == hi {
 			continue
 		}
-		windows = append(windows, window{phase: coveringPhase(phases, lo, hi), lo: lo, hi: hi})
+		windows = append(windows, Window{Phase: coveringPhase(phases, lo, hi), Lo: lo, Hi: hi})
 	}
 	return windows
 }

@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 )
 
@@ -82,6 +80,19 @@ func (w *Writer) writeLoop() {
 		}
 		if err := os.WriteFile(job.path, buf.Bytes(), 0o644); err != nil {
 			w.setErr(err)
+			continue
+		}
+		// The sidecar index lets streaming analysis plan chunk routing
+		// without decoding events; it is derived from the same event slice
+		// the chunk was encoded from, so the two can never disagree.
+		ix := BuildChunkIndex(job.events, int64(buf.Len()))
+		data, err := json.Marshal(ix)
+		if err != nil {
+			w.setErr(err)
+			continue
+		}
+		if err := os.WriteFile(sidecarPath(job.path), data, 0o644); err != nil {
+			w.setErr(err)
 		}
 	}
 }
@@ -90,8 +101,9 @@ func (w *Writer) setErr(err error) {
 	w.errOnce.Do(func() { w.err = err })
 }
 
-// Append buffers events, flushing a chunk to the background writer when the
-// buffer passes the chunk-size threshold.
+// Append buffers events, flushing a chunk to the background writer whenever
+// the buffer passes the chunk-size threshold. The threshold is checked per
+// event, so one large Append still produces size-bounded chunks.
 func (w *Writer) Append(events ...Event) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -99,12 +111,21 @@ func (w *Writer) Append(events ...Event) {
 		w.pending = append(w.pending, e)
 		// Estimated serialized size: fixed fields plus name bytes. An
 		// estimate is fine; chunk boundaries are not semantic.
-		w.size += 16 + len(e.Name)
-	}
-	if w.size >= w.chunkBytes {
-		w.flushLocked()
+		w.size += eventBytes(e)
+		if w.size >= w.chunkBytes {
+			w.flushLocked()
+		}
 	}
 }
+
+// eventBytes estimates an event's in-memory/serialized footprint: fixed
+// fields plus name bytes. The writer's flush threshold and the streaming
+// analyzer's MaxResidentBytes accounting share this estimate.
+func eventBytes(e Event) int { return 16 + len(e.Name) }
+
+// EventBytes estimates one event's resident footprint; the streaming
+// analysis engine uses it for its MaxResidentBytes accounting.
+func EventBytes(e Event) int { return eventBytes(e) }
 
 func (w *Writer) flushLocked() {
 	if len(w.pending) == 0 {
@@ -149,37 +170,21 @@ func (w *Writer) ChunksWritten() int {
 	return w.nchunks
 }
 
-// ReadDir loads a trace previously written by Writer from dir.
+// ReadDir loads a trace previously written by Writer from dir, materializing
+// every chunk into one Trace. A truncated or corrupt chunk file is reported
+// as a *ChunkError naming the offending file. For bounded-memory analysis of
+// large traces, use OpenDir and the streaming engine instead.
 func ReadDir(dir string) (*Trace, error) {
-	entries, err := os.ReadDir(dir)
+	r, err := OpenDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading trace dir: %w", err)
+		return nil, err
 	}
-	var chunkNames []string
-	for _, ent := range entries {
-		if strings.HasSuffix(ent.Name(), ".rlstrace") {
-			chunkNames = append(chunkNames, ent.Name())
-		}
-	}
-	sort.Strings(chunkNames)
-	t := &Trace{}
-	for _, name := range chunkNames {
-		f, err := os.Open(filepath.Join(dir, name))
+	t := &Trace{Meta: r.Meta()}
+	for i := 0; i < r.NumChunks(); i++ {
+		t.Events, err = r.ReadChunk(i, t.Events)
 		if err != nil {
-			return nil, fmt.Errorf("trace: opening chunk %s: %w", name, err)
+			return nil, err
 		}
-		t.Events, err = DecodeChunk(f, t.Events)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("trace: decoding chunk %s: %w", name, err)
-		}
-	}
-	metaData, err := os.ReadFile(filepath.Join(dir, metaFileName))
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading metadata: %w", err)
-	}
-	if err := json.Unmarshal(metaData, &t.Meta); err != nil {
-		return nil, fmt.Errorf("trace: decoding metadata: %w", err)
 	}
 	t.Sort()
 	return t, nil

@@ -117,8 +117,12 @@ func Uninstrumented() FeatureFlags { return trace.Uninstrumented() }
 func DefaultOverheads() OverheadModel { return profiler.DefaultOverheads() }
 
 // AnalysisOptions configures the sharded analysis engine behind
-// AnalyzeParallel.
+// AnalyzeParallel and AnalyzeDir.
 type AnalysisOptions = analysis.Options
+
+// StreamStats reports what a streaming analysis read, scheduled, and kept
+// resident (see AnalyzeDirStats).
+type StreamStats = analysis.StreamStats
 
 // Analyze runs the cross-stack overlap computation for every process in
 // the trace (paper §3.3). It delegates to AnalyzeParallel with a single
@@ -136,6 +140,30 @@ func AnalyzeParallel(t *Trace, opts AnalysisOptions) map[ProcID]*Result {
 
 // AnalyzeProcess runs the overlap computation for one process.
 func AnalyzeProcess(t *Trace, p ProcID) *Result { return overlap.Compute(t.ProcEvents(p)) }
+
+// AnalyzeDir streams a chunked trace directory (written by Profiler.WriteTo
+// or rlscope-prof) through the sharded analysis engine without materializing
+// the whole trace: chunks are decoded lazily into a reusable buffer and each
+// (process, phase) shard is analyzed as soon as its last contributing chunk
+// has been read, with open intervals carried across chunk boundaries. With
+// AnalysisOptions.MaxResidentBytes set, complete window prefixes are
+// finalized early to keep decoded events under the budget. The result is
+// byte-identical to AnalyzeParallel(trace.ReadDir(dir)) for every worker
+// count and every budget.
+func AnalyzeDir(dir string, opts AnalysisOptions) (map[ProcID]*Result, error) {
+	results, _, err := AnalyzeDirStats(dir, opts)
+	return results, err
+}
+
+// AnalyzeDirStats is AnalyzeDir, additionally reporting streaming statistics
+// (chunks decoded, shards dispatched, peak resident events/bytes).
+func AnalyzeDirStats(dir string, opts AnalysisOptions) (map[ProcID]*Result, StreamStats, error) {
+	r, err := trace.OpenDir(dir)
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	return analysis.RunStream(r, opts)
+}
 
 // Calibrate measures the mean cost of each profiler book-keeping path by
 // re-running the workload under feature subsets (paper Appendix C).

@@ -1,0 +1,97 @@
+package rlscope
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeWorkloadTrace persists a profiled workload trace with small chunks so
+// the streaming property tests cross many chunk boundaries.
+func writeWorkloadTrace(t *testing.T, tr *Trace, chunkBytes int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "trace")
+	w, err := trace.NewWriter(dir, chunkBytes)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	w.Append(tr.Events...)
+	if err := w.Close(tr.Meta); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return dir
+}
+
+// TestAnalyzeDirMatchesParallel asserts the tentpole acceptance property on
+// the public API: for randomized multi-process workload traces chunked on
+// disk, AnalyzeDir is byte-identical to AnalyzeParallel(trace.ReadDir(dir))
+// at Workers 1..8, with and without a MaxResidentBytes budget.
+func TestAnalyzeDirMatchesParallel(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		tr := randomWorkloadTrace(seed)
+		dir := writeWorkloadTrace(t, tr, 2048)
+		loaded, err := trace.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("seed %d: ReadDir: %v", seed, err)
+		}
+		want := renderResults(AnalyzeParallel(loaded, AnalysisOptions{Workers: 1}))
+		for workers := 1; workers <= 8; workers++ {
+			for _, budget := range []int64{0, 8 << 10} {
+				got, err := AnalyzeDir(dir, AnalysisOptions{Workers: workers, MaxResidentBytes: budget})
+				if err != nil {
+					t.Fatalf("seed %d workers %d budget %d: AnalyzeDir: %v", seed, workers, budget, err)
+				}
+				if renderResults(got) != want {
+					t.Fatalf("seed %d workers %d budget %d: AnalyzeDir diverges from AnalyzeParallel(ReadDir)",
+						seed, workers, budget)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeDirRepeatable asserts run-to-run stability of the streaming
+// path at full concurrency under a tight budget — neither scheduling order
+// nor eviction timing may leak into results.
+func TestAnalyzeDirRepeatable(t *testing.T) {
+	tr := randomWorkloadTrace(55)
+	dir := writeWorkloadTrace(t, tr, 2048)
+	opts := AnalysisOptions{MaxResidentBytes: 4 << 10}
+	first, err := AnalyzeDir(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderResults(first)
+	for i := 0; i < 5; i++ {
+		got, err := AnalyzeDir(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderResults(got) != want {
+			t.Fatalf("run %d: streaming result changed between identical invocations", i)
+		}
+	}
+}
+
+// TestAnalyzeDirReportsResidency asserts the public stats surface: a budget
+// keeps the streaming engine's peak resident events below the materialized
+// trace size on a realistic profiled workload.
+func TestAnalyzeDirReportsResidency(t *testing.T) {
+	tr := randomWorkloadTrace(8)
+	tr.Sort()
+	dir := writeWorkloadTrace(t, tr, 1024)
+	_, stats, err := AnalyzeDirStats(dir, AnalysisOptions{Workers: 1, MaxResidentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != len(tr.Events) {
+		t.Fatalf("streamed %d events, trace has %d", stats.Events, len(tr.Events))
+	}
+	if stats.PeakResidentEvents >= len(tr.Events) {
+		t.Fatalf("peak resident %d events, want below trace size %d", stats.PeakResidentEvents, len(tr.Events))
+	}
+	if stats.Chunks < 2 {
+		t.Fatalf("expected multiple chunks, got %d", stats.Chunks)
+	}
+}
