@@ -52,6 +52,7 @@ func BenchmarkTable1Frameworks(b *testing.B) {
 }
 
 func BenchmarkFigure3Overlap(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure3()
 		if r.CPUMcts == 0 {
@@ -374,6 +375,7 @@ func BenchmarkParallelAnalysis(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if r := AnalyzeParallel(tr, AnalysisOptions{Workers: workers}); len(r) == 0 {
 					b.Fatal("empty analysis")
@@ -430,6 +432,7 @@ func BenchmarkStreamingAnalysis(b *testing.B) {
 	events := float64(len(tr.Events))
 
 	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			loaded, err := trace.ReadDir(dir)
 			if err != nil {
@@ -452,6 +455,7 @@ func BenchmarkStreamingAnalysis(b *testing.B) {
 		{"stream/workers=4/budget=256KiB", 4, 256 << 10},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var stats analysis.StreamStats
 			for i := 0; i < b.N; i++ {
 				r, err := trace.OpenDir(dir)

@@ -1,7 +1,8 @@
 // Command rlscope-benchgate is the CI benchmark-regression gate: it parses
 // `go test -bench` output, aggregates repeated runs, compares the minimum
-// ns/op per benchmark against a committed baseline with a tolerance
-// multiplier, and exits non-zero on regression (or when a gated benchmark
+// ns/op — plus minimum B/op and allocs/op where the benchmark reports
+// allocations — per benchmark against a committed baseline with tolerance
+// multipliers, and exits non-zero on regression (or when a gated benchmark
 // stopped running). See internal/benchgate for the noise policy.
 //
 // Usage:
@@ -25,6 +26,7 @@ func main() {
 		benchPath = flag.String("bench", "", "file with `go test -bench` output (- for stdin; required)")
 		basePath  = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline JSON")
 		tolerance = flag.Float64("tolerance", 0, "allowed slowdown multiplier (0 = use baseline's)")
+		allocTol  = flag.Float64("alloc-tolerance", 0, "allowed B/op and allocs/op multiplier (0 = use baseline's)")
 		outPath   = flag.String("out", "", "write measured results as JSON (CI artifact)")
 		note      = flag.String("note", "", "note to embed when writing -out/-update JSON")
 		update    = flag.Bool("update", false, "rewrite the baseline from the measured results and exit")
@@ -52,16 +54,24 @@ func main() {
 	}
 
 	if *update {
-		tol := *tolerance
-		if tol <= 0 {
+		tol, atol := *tolerance, *allocTol
+		if tol <= 0 || atol <= 0 {
 			if base, err := benchgate.LoadBaseline(*basePath); err == nil {
-				tol = base.Tolerance
+				if tol <= 0 {
+					tol = base.Tolerance
+				}
+				if atol <= 0 {
+					atol = base.AllocTolerance
+				}
 			}
 		}
 		if tol <= 0 {
 			tol = benchgate.DefaultTolerance
 		}
-		if err := benchgate.WriteJSON(*basePath, *note, tol, results); err != nil {
+		if atol <= 0 {
+			atol = benchgate.DefaultAllocTolerance
+		}
+		if err := benchgate.WriteJSON(*basePath, *note, tol, atol, results); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "rlscope-benchgate: wrote %d benchmarks to %s\n", len(results), *basePath)
@@ -73,7 +83,7 @@ func main() {
 		fatal(err)
 	}
 	if *outPath != "" {
-		if err := benchgate.WriteJSON(*outPath, *note, base.Tolerance, results); err != nil {
+		if err := benchgate.WriteJSON(*outPath, *note, base.Tolerance, base.AllocTolerance, results); err != nil {
 			fatal(err)
 		}
 	}
@@ -84,7 +94,7 @@ func main() {
 	if tol <= 0 {
 		tol = benchgate.DefaultTolerance
 	}
-	verdicts, failed := benchgate.Compare(base, results, tol)
+	verdicts, failed := benchgate.Compare(base, results, tol, *allocTol)
 	fmt.Print(benchgate.Report(verdicts, tol))
 	if failed {
 		fmt.Fprintln(os.Stderr, "rlscope-benchgate: FAIL — benchmark regression against", *basePath)

@@ -42,21 +42,47 @@ type Options struct {
 func Run(t *trace.Trace, opts Options) map[trace.ProcID]*overlap.Result {
 	shards := t.Shards()
 	results := make([]*overlap.Result, len(shards))
-	ForEach(opts.Workers, len(shards), func(i int) error {
-		results[i] = overlap.ComputeWindow(shards[i].Events, shards[i].Lo, shards[i].Hi)
+	// Each worker owns one pooled Sweeper for the whole run: the sweep
+	// scratch (boundary slices, stacks, interners, the dense accumulator)
+	// is borrowed once, sized by the worker's first shard, reused for all
+	// its later ones, and returned for the next Run to pick up.
+	sweepers := make([]*overlap.Sweeper, ClampWorkers(opts.Workers, len(shards)))
+	ForEachWorker(opts.Workers, len(shards), func(w, i int) error {
+		if sweepers[w] == nil {
+			sweepers[w] = overlap.GetSweeper()
+		}
+		results[i] = sweepers[w].ComputeWindow(shards[i].Events, shards[i].Lo, shards[i].Hi)
 		return nil
 	})
-
-	out := map[trace.ProcID]*overlap.Result{}
-	for _, p := range t.ProcIDs() {
-		out[p] = &overlap.Result{
-			ByKey:       map[overlap.Key]vclock.Duration{},
-			Transitions: map[overlap.TransitionKey]int{},
+	for _, sw := range sweepers {
+		if sw != nil {
+			overlap.PutSweeper(sw)
 		}
 	}
+
+	// Every process with at least one event has at least one shard (windows
+	// partition the timeline and empty windows are dropped), so the result
+	// key set can be derived from the shards without an extra pass over the
+	// trace. A process covered by a single shard adopts that shard's result
+	// wholesale — merging into a fresh accumulator would only copy it.
+	nShards := map[trace.ProcID]int{}
+	for _, sh := range shards {
+		nShards[sh.Proc]++
+	}
+	out := map[trace.ProcID]*overlap.Result{}
 	// Merge in shard order: commutative integer sums plus span extremes,
 	// so the outcome is independent of completion order anyway.
 	for i, sh := range shards {
+		if nShards[sh.Proc] == 1 {
+			out[sh.Proc] = results[i]
+			continue
+		}
+		if out[sh.Proc] == nil {
+			out[sh.Proc] = &overlap.Result{
+				ByKey:       map[overlap.Key]vclock.Duration{},
+				Transitions: map[overlap.TransitionKey]int{},
+			}
+		}
 		mergeShard(out[sh.Proc], results[i])
 	}
 	return out

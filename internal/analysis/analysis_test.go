@@ -121,9 +121,16 @@ func randomTrace(rng *rand.Rand) *trace.Trace {
 		pid := trace.ProcID(p)
 		tr.Meta.Procs[pid] = trace.ProcInfo{Name: fmt.Sprintf("proc%d", p), Parent: -1}
 		n := 50 + rng.Intn(400)
+		// Half the processes get timestamps snapped to a coarse grid, so
+		// exact start/end ties (and events closing in non-LIFO order at
+		// the same instant) are common rather than vanishingly rare.
+		grid := vclock.Time(1)
+		if p%2 == 1 {
+			grid = 1000
+		}
 		for i := 0; i < n; i++ {
-			start := vclock.Time(rng.Intn(100_000))
-			width := vclock.Time(rng.Intn(5_000))
+			start := vclock.Time(rng.Intn(100_000)) / grid * grid
+			width := vclock.Time(rng.Intn(5_000)) / grid * grid
 			e := trace.Event{Proc: pid, Start: start, End: start + width}
 			switch rng.Intn(10) {
 			case 0, 1:

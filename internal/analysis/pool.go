@@ -16,9 +16,14 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // pre-sized index range. A pool of one executes jobs inline on the
 // submitting goroutine, so single-worker streaming is strictly sequential,
 // exactly like ForEach(1, ...).
+//
+// Jobs receive the index of the worker executing them (0 in inline mode),
+// so callers can give each worker private reusable scratch — the streaming
+// engine hands every worker its own overlap.Sweeper.
 type Pool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
+	workers int
+	jobs    chan func(worker int)
+	wg      sync.WaitGroup
 }
 
 // NewPool starts a pool of workers; workers <= 0 selects DefaultWorkers.
@@ -27,27 +32,32 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	p := &Pool{}
+	p := &Pool{workers: workers}
 	if workers == 1 {
 		return p // inline mode: no goroutines, no channel
 	}
-	p.jobs = make(chan func(), workers)
+	p.jobs = make(chan func(worker int), workers)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer p.wg.Done()
 			for fn := range p.jobs {
-				fn()
+				fn(worker)
 			}
-		}()
+		}(w)
 	}
 	return p
 }
 
-// Submit schedules one job. In inline mode it runs before Submit returns.
-func (p *Pool) Submit(fn func()) {
+// Workers returns the resolved pool size — the number of distinct worker
+// indices jobs may observe.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit schedules one job. In inline mode it runs before Submit returns,
+// with worker index 0.
+func (p *Pool) Submit(fn func(worker int)) {
 	if p.jobs == nil {
-		fn()
+		fn(0)
 		return
 	}
 	p.jobs <- fn
@@ -62,29 +72,55 @@ func (p *Pool) Wait() {
 	p.wg.Wait()
 }
 
-// ForEach runs fn(0), …, fn(n-1) across a pool of workers and returns the
-// lowest-index error, or nil. workers <= 0 selects DefaultWorkers; a pool
-// of one runs inline with no goroutines, so single-worker execution is
-// strictly sequential. Dispatch is fail-fast: once any job errors, no
-// further index is dispatched; every dispatched job (at most one of which
-// may still be queued at that point) runs to completion. Dispatched jobs
-// always executing is what keeps the returned error deterministic:
-// indices dispatch in order, so the lowest failing index is always
-// dispatched, always runs, and always wins — skipping queued work instead
-// would let a later, faster failure race it out of the error slot.
-func ForEach(workers, n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
+// ClampWorkers resolves a worker-count option against a job count: zero or
+// negative selects DefaultWorkers, and the pool never exceeds one worker
+// per job. The result is the number of distinct worker indices
+// ForEachWorker can pass to fn.
+func ClampWorkers(workers, n int) int {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(0), …, fn(n-1) across a pool of workers and returns the
+// lowest-index error, or nil. See ForEachWorker for the scheduling
+// contract; ForEach is the face used by callers that need no per-worker
+// state.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker runs fn(w, 0), …, fn(w, n-1) across a pool of workers,
+// where w identifies the executing worker (0 <= w < ClampWorkers(workers,
+// n); each index is owned by exactly one goroutine), and returns the
+// lowest-index error, or nil. The worker index lets callers thread private
+// reusable scratch — the analysis engine gives each worker its own
+// overlap.Sweeper — without any locking.
+//
+// workers <= 0 selects DefaultWorkers; a pool of one runs inline with no
+// goroutines, so single-worker execution is strictly sequential. Dispatch
+// is fail-fast: once any job errors, no further index is dispatched; every
+// dispatched job (at most one of which may still be queued at that point)
+// runs to completion. Dispatched jobs always executing is what keeps the
+// returned error deterministic: indices dispatch in order, so the lowest
+// failing index is always dispatched, always runs, and always wins —
+// skipping queued work instead would let a later, faster failure race it
+// out of the error slot.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = ClampWorkers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -96,15 +132,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n && !failed.Load(); i++ {
 		idx <- i

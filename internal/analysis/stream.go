@@ -140,6 +140,18 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 	var mu sync.Mutex
 	var inflightBytes, inflightEvents atomic.Int64
 	pool := NewPool(opts.Workers)
+	// One pooled Sweeper per pool worker (index 0 doubles as the inline
+	// worker): sweep scratch is recycled across every window the worker
+	// computes, and no locking is needed because a worker index is owned by
+	// exactly one goroutine. Borrowed lazily, returned after pool.Wait.
+	sweepers := make([]*overlap.Sweeper, pool.Workers())
+	returnSweepers := func() {
+		for _, sw := range sweepers {
+			if sw != nil {
+				overlap.PutSweeper(sw)
+			}
+		}
+	}
 	dispatch := func(proc trace.ProcID, events []trace.Event, bytes int64, lo, hi vclock.Time) {
 		if len(events) == 0 {
 			return
@@ -147,8 +159,11 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 		stats.Shards++
 		inflightBytes.Add(bytes)
 		inflightEvents.Add(int64(len(events)))
-		pool.Submit(func() {
-			res := overlap.ComputeWindow(events, lo, hi)
+		pool.Submit(func(worker int) {
+			if sweepers[worker] == nil {
+				sweepers[worker] = overlap.GetSweeper()
+			}
+			res := sweepers[worker].ComputeWindow(events, lo, hi)
 			mu.Lock()
 			mergeShard(out[proc], res)
 			mu.Unlock()
@@ -234,6 +249,7 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 		buf, err = r.ReadChunk(i, buf[:0])
 		if err != nil {
 			pool.Wait()
+			returnSweepers()
 			return nil, stats, err
 		}
 		stats.Events += len(buf)
@@ -266,5 +282,6 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 		sample(0, 0)
 	}
 	pool.Wait()
+	returnSweepers()
 	return out, stats, nil
 }

@@ -31,6 +31,13 @@ type Result struct {
 	Runs int `json:"runs"`
 	// MaxNsPerOp is the maximum ns/op across runs, a noise indicator.
 	MaxNsPerOp float64 `json:"max_ns_per_op,omitempty"`
+	// BytesPerOp and AllocsPerOp are the minimum B/op and allocs/op across
+	// runs, present when the benchmark reports allocations
+	// (b.ReportAllocs or -benchmem). HasAllocs distinguishes a true zero
+	// from "not reported".
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HasAllocs   bool    `json:"has_allocs,omitempty"`
 }
 
 // Baseline is the committed reference file the gate compares against.
@@ -41,6 +48,10 @@ type Baseline struct {
 	// fail when min ns/op exceeds 2x the baseline). Command-line override
 	// wins; zero falls back to DefaultTolerance.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// AllocTolerance is the allowed multiplier for B/op and allocs/op.
+	// Allocation counts are deterministic compared to wall time, so the
+	// default (DefaultAllocTolerance) is tighter than the ns/op tolerance.
+	AllocTolerance float64 `json:"alloc_tolerance,omitempty"`
 	// Benchmarks maps the normalized benchmark name (GOMAXPROCS suffix
 	// stripped) to its reference result.
 	Benchmarks map[string]Result `json:"benchmarks"`
@@ -50,17 +61,28 @@ type Baseline struct {
 // baseline nor the caller specifies one.
 const DefaultTolerance = 2.0
 
+// DefaultAllocTolerance is the allowed B/op / allocs/op multiplier when
+// neither the baseline nor the caller specifies one.
+const DefaultAllocTolerance = 1.5
+
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkParallelAnalysis/workers=2-8   100   123456 ns/op   94010 events
+//	BenchmarkParallelAnalysis/workers=2-8   100   123456 ns/op   94010 events   9401 B/op   120 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
 
+var (
+	bytesPerOp  = regexp.MustCompile(`\s([0-9.]+) B/op`)
+	allocsPerOp = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
+)
+
 // Parse reads `go test -bench` output and aggregates repeated runs per
-// normalized benchmark name.
+// normalized benchmark name. Allocation columns (emitted by b.ReportAllocs
+// or -benchmem) are aggregated the same way as ns/op: minimum across runs.
 func Parse(output string) map[string]Result {
 	out := map[string]Result{}
 	for _, line := range strings.Split(output, "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		line = strings.TrimSpace(line)
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -76,6 +98,21 @@ func Parse(output string) map[string]Result {
 		if ns > r.MaxNsPerOp {
 			r.MaxNsPerOp = ns
 		}
+		if bm := bytesPerOp.FindStringSubmatch(line); bm != nil {
+			if am := allocsPerOp.FindStringSubmatch(line); am != nil {
+				b, berr := strconv.ParseFloat(bm[1], 64)
+				a, aerr := strconv.ParseFloat(am[1], 64)
+				if berr == nil && aerr == nil {
+					if !r.HasAllocs || b < r.BytesPerOp {
+						r.BytesPerOp = b
+					}
+					if !r.HasAllocs || a < r.AllocsPerOp {
+						r.AllocsPerOp = a
+					}
+					r.HasAllocs = true
+				}
+			}
+		}
 		r.Runs++
 		out[name] = r
 	}
@@ -88,21 +125,38 @@ type Verdict struct {
 	Baseline float64 // baseline min ns/op
 	Current  float64 // measured min ns/op; 0 when missing
 	Ratio    float64 // Current / Baseline
-	// Status is "ok", "regression", "missing" (in baseline but not
-	// measured), or "new" (measured but not in baseline — informational).
+	// BaseAllocs/CurAllocs and BaseBytes/CurBytes carry the allocs/op and
+	// B/op comparison when both sides report allocations.
+	BaseAllocs, CurAllocs float64
+	BaseBytes, CurBytes   float64
+	// Status is "ok", "regression" (ns/op over tolerance),
+	// "alloc-regression" (allocs/op or B/op over the alloc tolerance while
+	// ns/op passed), "missing" (in baseline but not measured), or "new"
+	// (measured but not in baseline — informational).
 	Status string
 }
 
 // Compare judges measured results against the baseline. tolerance <= 0
-// selects the baseline's own tolerance, falling back to DefaultTolerance.
-// Verdicts are sorted by name; failed reports whether any benchmark
-// regressed or went missing.
-func Compare(base *Baseline, current map[string]Result, tolerance float64) (verdicts []Verdict, failed bool) {
+// selects the baseline's own tolerance, falling back to DefaultTolerance;
+// allocTolerance <= 0 likewise falls back to the baseline's AllocTolerance
+// then DefaultAllocTolerance. Allocation columns are gated only when the
+// baseline recorded them — a baseline predating allocation tracking never
+// fails on them — but once recorded, a benchmark that stops reporting
+// allocations fails exactly like one that stops running. Verdicts are
+// sorted by name; failed reports whether any benchmark regressed (time or
+// allocations) or went missing.
+func Compare(base *Baseline, current map[string]Result, tolerance, allocTolerance float64) (verdicts []Verdict, failed bool) {
 	if tolerance <= 0 {
 		tolerance = base.Tolerance
 	}
 	if tolerance <= 0 {
 		tolerance = DefaultTolerance
+	}
+	if allocTolerance <= 0 {
+		allocTolerance = base.AllocTolerance
+	}
+	if allocTolerance <= 0 {
+		allocTolerance = DefaultAllocTolerance
 	}
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -124,10 +178,26 @@ func Compare(base *Baseline, current map[string]Result, tolerance float64) (verd
 			if ref.NsPerOp > 0 {
 				v.Ratio = cur.NsPerOp / ref.NsPerOp
 			}
-			if v.Ratio > tolerance {
+			switch {
+			case v.Ratio > tolerance:
 				v.Status = "regression"
 				failed = true
-			} else {
+			case ref.HasAllocs && !cur.HasAllocs:
+				// The baseline locks allocations in; dropping
+				// b.ReportAllocs would un-gate them silently.
+				v.Status = "missing"
+				failed = true
+			case ref.HasAllocs:
+				v.BaseAllocs, v.CurAllocs = ref.AllocsPerOp, cur.AllocsPerOp
+				v.BaseBytes, v.CurBytes = ref.BytesPerOp, cur.BytesPerOp
+				if allocRegressed(ref.AllocsPerOp, cur.AllocsPerOp, allocTolerance, zeroSlackAllocs) ||
+					allocRegressed(ref.BytesPerOp, cur.BytesPerOp, allocTolerance, zeroSlackBytes) {
+					v.Status = "alloc-regression"
+					failed = true
+				} else {
+					v.Status = "ok"
+				}
+			default:
 				v.Status = "ok"
 			}
 		}
@@ -146,18 +216,49 @@ func Compare(base *Baseline, current map[string]Result, tolerance float64) (verd
 	return verdicts, failed
 }
 
-// Report renders verdicts as an aligned text table.
+// Zero-baseline slack per allocation metric: a benchmark whose baseline
+// recorded zero tolerates up to slack×tolerance absolute before failing,
+// so one stray small allocation cannot flake the gate on either column
+// (1.5 allocs, 384 bytes at the default tolerance) while real growth from
+// zero is still caught.
+const (
+	zeroSlackAllocs = 1.0
+	zeroSlackBytes  = 256.0
+)
+
+// allocRegressed judges one allocation metric: multiplicative past the
+// tolerance when the baseline is non-zero, absolute against slack×tol
+// when the baseline is zero.
+func allocRegressed(base, cur, tol, zeroSlack float64) bool {
+	if base > 0 {
+		return cur > base*tol
+	}
+	return cur > zeroSlack*tol
+}
+
+// Report renders verdicts as an aligned text table. Both allocation
+// columns are shown, so an alloc-regression verdict always displays the
+// metric that tripped it (allocs/op and B/op are gated independently).
 func Report(verdicts []Verdict, tolerance float64) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-60s %14s %14s %7s %s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio", "status")
+	fmt.Fprintf(&sb, "%-60s %14s %14s %7s %19s %23s %s\n",
+		"benchmark", "baseline ns/op", "current ns/op", "ratio", "allocs/op", "B/op", "status")
 	for _, v := range verdicts {
 		ratio := "-"
 		if v.Ratio > 0 {
 			ratio = fmt.Sprintf("%.2fx", v.Ratio)
 		}
-		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %7s %s\n", v.Name, v.Baseline, v.Current, ratio, v.Status)
+		allocs, bytes := "-", "-"
+		if v.BaseAllocs > 0 || v.CurAllocs > 0 {
+			allocs = fmt.Sprintf("%.0f → %.0f", v.BaseAllocs, v.CurAllocs)
+		}
+		if v.BaseBytes > 0 || v.CurBytes > 0 {
+			bytes = fmt.Sprintf("%.0f → %.0f", v.BaseBytes, v.CurBytes)
+		}
+		fmt.Fprintf(&sb, "%-60s %14.0f %14.0f %7s %19s %23s %s\n",
+			v.Name, v.Baseline, v.Current, ratio, allocs, bytes, v.Status)
 	}
-	fmt.Fprintf(&sb, "tolerance: fail above %.2fx baseline\n", tolerance)
+	fmt.Fprintf(&sb, "tolerance: fail above %.2fx baseline ns/op\n", tolerance)
 	return sb.String()
 }
 
@@ -177,8 +278,9 @@ func LoadBaseline(path string) (*Baseline, error) {
 // WriteJSON writes a baseline-shaped file from measured results — used both
 // to refresh the committed baseline (-update) and to upload the current
 // numbers as a CI artifact.
-func WriteJSON(path, note string, tolerance float64, results map[string]Result) error {
-	data, err := json.MarshalIndent(&Baseline{Note: note, Tolerance: tolerance, Benchmarks: results}, "", "  ")
+func WriteJSON(path, note string, tolerance, allocTolerance float64, results map[string]Result) error {
+	b := &Baseline{Note: note, Tolerance: tolerance, AllocTolerance: allocTolerance, Benchmarks: results}
+	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchgate: encoding results: %w", err)
 	}

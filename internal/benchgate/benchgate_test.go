@@ -53,7 +53,7 @@ func baselineFor(results map[string]Result) *Baseline {
 
 func TestCompareOK(t *testing.T) {
 	base := baselineFor(Parse(sampleOutput))
-	verdicts, failed := Compare(base, Parse(sampleOutput), 0)
+	verdicts, failed := Compare(base, Parse(sampleOutput), 0, 0)
 	if failed {
 		t.Fatalf("identical results failed the gate: %+v", verdicts)
 	}
@@ -70,7 +70,7 @@ func TestCompareOK(t *testing.T) {
 func TestCompareFlagsRegression(t *testing.T) {
 	base := baselineFor(Parse(sampleOutput))
 	slow := Parse(strings.ReplaceAll(sampleOutput, "30000000 ns/op", "90000000 ns/op"))
-	verdicts, failed := Compare(base, slow, 0)
+	verdicts, failed := Compare(base, slow, 0, 0)
 	if !failed {
 		t.Fatal("3x slowdown passed a 1.5x gate")
 	}
@@ -93,7 +93,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 func TestCompareToleranceAbsorbsNoise(t *testing.T) {
 	base := baselineFor(Parse(sampleOutput))
 	noisy := Parse(strings.ReplaceAll(sampleOutput, "30000000 ns/op", "41000000 ns/op"))
-	if _, failed := Compare(base, noisy, 0); failed {
+	if _, failed := Compare(base, noisy, 0, 0); failed {
 		t.Fatal("1.37x noise failed a 1.5x gate")
 	}
 }
@@ -101,7 +101,7 @@ func TestCompareToleranceAbsorbsNoise(t *testing.T) {
 func TestCompareMissingBenchmarkFails(t *testing.T) {
 	base := baselineFor(Parse(sampleOutput))
 	partial := Parse(strings.ReplaceAll(sampleOutput, "BenchmarkStreamingAnalysis", "BenchmarkRenamed"))
-	verdicts, failed := Compare(base, partial, 0)
+	verdicts, failed := Compare(base, partial, 0, 0)
 	if !failed {
 		t.Fatal("missing benchmark passed the gate")
 	}
@@ -122,15 +122,121 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 func TestCompareCommandLineToleranceWins(t *testing.T) {
 	base := baselineFor(Parse(sampleOutput))
 	slow := Parse(strings.ReplaceAll(sampleOutput, "30000000 ns/op", "41000000 ns/op"))
-	if _, failed := Compare(base, slow, 1.2); !failed {
+	if _, failed := Compare(base, slow, 1.2, 0); !failed {
 		t.Fatal("1.37x slowdown passed an explicit 1.2x gate")
+	}
+}
+
+const allocOutput = `
+BenchmarkOverlapDeepNesting/incremental-8   	     500	   2300000 ns/op	     10000 events	     484 B/op	       5 allocs/op
+BenchmarkOverlapDeepNesting/incremental-8   	     500	   2200000 ns/op	     10000 events	     500 B/op	       6 allocs/op
+BenchmarkOverlapDeepNesting/reference-8     	      50	  30000000 ns/op	     10000 events	 2555360 B/op	      44 allocs/op
+BenchmarkParallelAnalysis/workers=1-8       	     100	  21000000 ns/op	     94010 events
+`
+
+func TestParseAllocColumns(t *testing.T) {
+	got := Parse(allocOutput)
+	inc := got["BenchmarkOverlapDeepNesting/incremental"]
+	if !inc.HasAllocs {
+		t.Fatalf("alloc columns not parsed: %+v", inc)
+	}
+	if inc.AllocsPerOp != 5 || inc.BytesPerOp != 484 {
+		t.Fatalf("want min allocs 5 and min bytes 484, got %+v", inc)
+	}
+	if w1 := got["BenchmarkParallelAnalysis/workers=1"]; w1.HasAllocs {
+		t.Fatalf("benchmark without alloc columns marked HasAllocs: %+v", w1)
+	}
+}
+
+func TestCompareGatesAllocRegression(t *testing.T) {
+	base := baselineFor(Parse(allocOutput))
+	base.AllocTolerance = 1.5
+	// Same speed, ~10x the allocations in every run (the gate compares the
+	// minimum across runs): must fail on allocs alone.
+	leaky := Parse(strings.ReplaceAll(strings.ReplaceAll(allocOutput,
+		"5 allocs/op", "50 allocs/op"), "6 allocs/op", "60 allocs/op"))
+	verdicts, failed := Compare(base, leaky, 0, 0)
+	if !failed {
+		t.Fatal("10x alloc growth passed the gate")
+	}
+	var saw bool
+	for _, v := range verdicts {
+		if v.Name == "BenchmarkOverlapDeepNesting/incremental" {
+			saw = true
+			if v.Status != "alloc-regression" {
+				t.Fatalf("verdict %+v, want alloc-regression", v)
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("regressed benchmark missing from verdicts")
+	}
+	// B/op regressions are gated the same way.
+	bloated := Parse(strings.ReplaceAll(strings.ReplaceAll(allocOutput,
+		"484 B/op", "9999 B/op"), "500 B/op", "9999 B/op"))
+	if _, failed := Compare(base, bloated, 0, 0); !failed {
+		t.Fatal("20x B/op growth passed the gate")
+	}
+}
+
+func TestCompareAllocNoiseAbsorbed(t *testing.T) {
+	base := baselineFor(Parse(allocOutput))
+	noisy := Parse(strings.ReplaceAll(allocOutput, "5 allocs/op", "6 allocs/op"))
+	if verdicts, failed := Compare(base, noisy, 0, 0); failed {
+		t.Fatalf("1.2x alloc noise failed a 1.5x gate: %+v", verdicts)
+	}
+}
+
+func TestCompareZeroBaselineSlack(t *testing.T) {
+	// A zero-alloc baseline must absorb one stray small allocation on BOTH
+	// columns (a single alloc always carries bytes with it), but catch
+	// real growth from zero.
+	zeroed := strings.ReplaceAll(strings.ReplaceAll(strings.ReplaceAll(allocOutput,
+		"484 B/op	       5 allocs/op", "0 B/op	       0 allocs/op"),
+		"500 B/op	       6 allocs/op", "0 B/op	       0 allocs/op"),
+		"2555360 B/op	      44 allocs/op", "0 B/op	       0 allocs/op")
+	base := baselineFor(Parse(zeroed))
+	oneStray := Parse(strings.ReplaceAll(zeroed, "0 B/op	       0 allocs/op", "16 B/op	       1 allocs/op"))
+	if verdicts, failed := Compare(base, oneStray, 0, 0); failed {
+		t.Fatalf("one 16-byte stray allocation flaked a zero-alloc baseline: %+v", verdicts)
+	}
+	grown := Parse(strings.ReplaceAll(zeroed, "0 B/op	       0 allocs/op", "4096 B/op	      12 allocs/op"))
+	if _, failed := Compare(base, grown, 0, 0); !failed {
+		t.Fatal("real allocation growth from a zero baseline passed the gate")
+	}
+}
+
+func TestCompareDroppedAllocReportingFails(t *testing.T) {
+	base := baselineFor(Parse(allocOutput))
+	// Strip the alloc columns: the benchmark still runs, but the
+	// quantities the baseline locks in are no longer measured.
+	stripped := Parse(strings.ReplaceAll(strings.ReplaceAll(strings.ReplaceAll(allocOutput,
+		"	     484 B/op	       5 allocs/op", ""),
+		"	     500 B/op	       6 allocs/op", ""),
+		"	 2555360 B/op	      44 allocs/op", ""))
+	if _, failed := Compare(base, stripped, 0, 0); !failed {
+		t.Fatal("dropping b.ReportAllocs passed a baseline that gates allocations")
+	}
+}
+
+func TestCompareBaselineWithoutAllocsNeverGatesThem(t *testing.T) {
+	// Baseline predates allocation tracking; current output has columns.
+	base := baselineFor(Parse(strings.ReplaceAll(strings.ReplaceAll(allocOutput,
+		"	     484 B/op	       5 allocs/op", ""),
+		"	     500 B/op	       6 allocs/op", "")))
+	cur := Parse(strings.ReplaceAll(allocOutput, "5 allocs/op", "5000 allocs/op"))
+	verdicts, failed := Compare(base, cur, 0, 0)
+	for _, v := range verdicts {
+		if v.Name == "BenchmarkOverlapDeepNesting/incremental" && v.Status != "ok" {
+			t.Fatalf("allocs gated without baseline data: %+v (failed=%v)", v, failed)
+		}
 	}
 }
 
 func TestBaselineRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "baseline.json")
 	results := Parse(sampleOutput)
-	if err := WriteJSON(path, "unit test", 1.5, results); err != nil {
+	if err := WriteJSON(path, "unit test", 1.5, 1.5, results); err != nil {
 		t.Fatal(err)
 	}
 	got, err := LoadBaseline(path)

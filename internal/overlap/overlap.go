@@ -15,10 +15,16 @@
 // CPU tiers nest like a call stack: Python calls the simulator or the ML
 // backend, and the backend calls the CUDA API. GPU events overlap CPU events
 // freely — that overlap is precisely what the analysis measures.
+//
+// The sweep is incremental (see Sweeper): classification state is carried
+// across event boundaries by innermost-tracking stacks and GPU counters
+// instead of being re-derived per elementary interval, names and categories
+// are interned into dense IDs so the hot accumulator is a flat array, and
+// all scratch memory is pooled across calls.
 package overlap
 
 import (
-	"sort"
+	"sync"
 
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -80,6 +86,13 @@ type TransitionKey struct {
 	Label string
 }
 
+// sweepers pools sweep scratch (boundary slices, stacks, interners, the
+// dense accumulator) across Compute/ComputeWindow calls; without it every
+// shard of every window would re-allocate the lot. Long-lived callers that
+// sweep many windows (the analysis worker pool) hold their own Sweeper
+// instead, one per worker.
+var sweepers = sync.Pool{New: func() any { return NewSweeper() }}
+
 // Compute runs the overlap sweep over one process's events. The slice may be
 // in any order; only KindCPU, KindGPU, KindOp and KindTransition events
 // participate.
@@ -95,163 +108,26 @@ func Compute(events []trace.Event) *Result {
 // Compute over the full timeline exactly. This is the primitive the sharded
 // analysis engine (internal/analysis) parallelizes over.
 func ComputeWindow(events []trace.Event, lo, hi vclock.Time) *Result {
-	return computeWindow(events, lo, hi, true)
-}
-
-// computeWindow is ComputeWindow with transition scoping optional: callers
-// that only consume ByKey sums (Phases) skip the op-index sort and the
-// per-marker lookups entirely.
-func computeWindow(events []trace.Event, lo, hi vclock.Time, withTransitions bool) *Result {
-	res := &Result{
-		ByKey:       map[Key]vclock.Duration{},
-		Transitions: map[TransitionKey]int{},
-	}
-	type boundary struct {
-		t    vclock.Time
-		open bool
-		ev   int
-	}
-	var bounds []boundary
-	var spanSet bool
-	for i, e := range events {
-		switch e.Kind {
-		case trace.KindCPU, trace.KindGPU, trace.KindOp:
-			if e.End <= e.Start {
-				continue // zero-width intervals contribute nothing
-			}
-			if e.End <= lo || e.Start >= hi {
-				continue // entirely outside the window
-			}
-			bounds = append(bounds, boundary{e.Start, true, i}, boundary{e.End, false, i})
-			// Span uses the unclipped extent: a partition of windows
-			// then merges to the same span Compute reports.
-			if !spanSet || e.Start < res.SpanStart {
-				res.SpanStart = e.Start
-			}
-			if !spanSet || e.End > res.SpanEnd {
-				res.SpanEnd = e.End
-			}
-			spanSet = true
-		}
-	}
-	// Transition counters are scoped to the innermost operation active at
-	// the marker's timestamp; resolve them after the op intervals are
-	// known, via a second sweep below.
-	sort.Slice(bounds, func(i, j int) bool {
-		if bounds[i].t != bounds[j].t {
-			return bounds[i].t < bounds[j].t
-		}
-		// Closes before opens at the same instant, so back-to-back
-		// intervals do not appear concurrent.
-		return !bounds[i].open && bounds[j].open
-	})
-
-	active := map[int]bool{}
-	var prev vclock.Time
-	first := true
-	for bi := 0; bi < len(bounds); {
-		t := bounds[bi].t
-		if !first && t > prev {
-			// Accumulate only the part of [prev, t) inside [lo, hi).
-			s, e := prev, t
-			if s < lo {
-				s = lo
-			}
-			if e > hi {
-				e = hi
-			}
-			if e > s {
-				if k, ok := classify(events, active); ok {
-					res.ByKey[k] += e.Sub(s)
-				}
-			}
-		}
-		for bi < len(bounds) && bounds[bi].t == t {
-			if bounds[bi].open {
-				active[bounds[bi].ev] = true
-			} else {
-				delete(active, bounds[bi].ev)
-			}
-			bi++
-		}
-		prev = t
-		first = false
-	}
-
-	if !withTransitions {
-		return res
-	}
-	// Second pass: scope transition markers to operations. The op index
-	// is built lazily so windows without any markers skip its sort.
-	var ops opIndex
-	opsBuilt := false
-	for _, e := range events {
-		if e.Kind != trace.KindTransition || e.Start < lo || e.Start >= hi {
-			continue
-		}
-		if !opsBuilt {
-			ops = opIntervals(events)
-			opsBuilt = true
-		}
-		res.Transitions[TransitionKey{Op: ops.at(e.Start), Label: e.Name}]++
-	}
+	sw := GetSweeper()
+	res := sw.computeWindow(events, lo, hi, true)
+	PutSweeper(sw)
 	return res
 }
 
-// classify determines the breakdown key for the current active event set.
-// It reports ok=false when nothing is running (idle gap).
-func classify(events []trace.Event, active map[int]bool) (Key, bool) {
-	var (
-		cpuBest  trace.Event
-		cpuFound bool
-		gpuBest  trace.Event
-		gpuFound bool
-		opBest   trace.Event
-		opFound  bool
-	)
-	for idx := range active {
-		e := events[idx]
-		switch e.Kind {
-		case trace.KindCPU:
-			if !cpuFound || innerCPU(e, cpuBest) {
-				cpuBest, cpuFound = e, true
-			}
-		case trace.KindGPU:
-			// Kernels take precedence over memcpys for labelling
-			// concurrent device activity.
-			if !gpuFound || (e.Cat == trace.CatGPUKernel && gpuBest.Cat != trace.CatGPUKernel) {
-				gpuBest, gpuFound = e, true
-			}
-		case trace.KindOp:
-			if !opFound || innerOp(e, opBest) {
-				opBest, opFound = e, true
-			}
-		}
-	}
-	if !cpuFound && !gpuFound {
-		return Key{}, false
-	}
-	k := Key{Op: UntrackedOp}
-	if opFound {
-		k.Op = opBest.Name
-	}
-	if cpuFound {
-		k.Res |= ResCPU
-		k.Cat = cpuBest.Cat
-	}
-	if gpuFound {
-		k.Res |= ResGPU
-		if !cpuFound {
-			k.Cat = gpuBest.Cat
-		}
-	}
-	return k, true
-}
+// GetSweeper borrows a Sweeper from the package pool; PutSweeper returns
+// it. Callers that sweep many windows from one goroutine (the analysis
+// worker pool gives each worker its own) borrow once instead of paying a
+// pool round-trip per window.
+func GetSweeper() *Sweeper { return sweepers.Get().(*Sweeper) }
+
+// PutSweeper returns a borrowed Sweeper to the package pool. The Sweeper
+// must not be used after.
+func PutSweeper(sw *Sweeper) { sweepers.Put(sw) }
 
 // innerCPU reports whether a is more deeply nested than b: later start wins;
 // at equal starts the higher CPU rank (deeper tier) wins. The remaining
-// comparisons only break exact ties, so the choice never depends on map
-// iteration order.
+// comparisons only break exact ties, so the choice never depends on input
+// order.
 func innerCPU(a, b trace.Event) bool {
 	if a.Start != b.Start {
 		return a.Start > b.Start
@@ -279,49 +155,4 @@ func innerOp(a, b trace.Event) bool {
 		return a.End < b.End
 	}
 	return a.Name < b.Name
-}
-
-// opIndex answers "which operation is active at time t" queries.
-type opIndex struct {
-	events []trace.Event // KindOp only, sorted by (Start, End desc)
-}
-
-func opIntervals(events []trace.Event) opIndex {
-	var ops []trace.Event
-	for _, e := range events {
-		if e.Kind == trace.KindOp && e.End > e.Start {
-			ops = append(ops, e)
-		}
-	}
-	sort.Slice(ops, func(i, j int) bool {
-		if ops[i].Start != ops[j].Start {
-			return ops[i].Start < ops[j].Start
-		}
-		if ops[i].End != ops[j].End {
-			return ops[i].End > ops[j].End
-		}
-		return ops[i].Name < ops[j].Name
-	})
-	return opIndex{events: ops}
-}
-
-// at returns the innermost operation covering t, or UntrackedOp. Innermost
-// is decided by innerOp — the same rule classify uses — so duration
-// attribution and transition scoping always agree on which operation owns
-// an instant, including under exact ties.
-func (ix opIndex) at(t vclock.Time) string {
-	var best trace.Event
-	found := false
-	for _, e := range ix.events {
-		if e.Start > t {
-			break
-		}
-		if t < e.End && (!found || innerOp(e, best)) {
-			best, found = e, true
-		}
-	}
-	if !found {
-		return UntrackedOp
-	}
-	return best.Name
 }

@@ -2,6 +2,7 @@ package overlap
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -204,8 +205,9 @@ func TestMergeResults(t *testing.T) {
 }
 
 // referenceCompute is a brute-force re-implementation of the sweep: it
-// evaluates the attribution at every unit timestep. Used as the oracle in
-// the property test.
+// evaluates the attribution at every unit timestep, picking innermost
+// events with the same innerCPU/innerOp comparators the sweep uses so that
+// exact ties resolve identically. Used as the oracle in the property tests.
 func referenceCompute(events []trace.Event, horizon vclock.Time) map[Key]vclock.Duration {
 	out := map[Key]vclock.Duration{}
 	for tm := vclock.Time(0); tm < horizon; tm++ {
@@ -217,8 +219,7 @@ func referenceCompute(events []trace.Event, horizon vclock.Time) map[Key]vclock.
 			}
 			switch e.Kind {
 			case trace.KindCPU:
-				if cpu == nil || e.Start > cpu.Start ||
-					(e.Start == cpu.Start && e.Cat.CPURank() > cpu.Cat.CPURank()) {
+				if cpu == nil || innerCPU(*e, *cpu) {
 					cpu = e
 				}
 			case trace.KindGPU:
@@ -226,7 +227,7 @@ func referenceCompute(events []trace.Event, horizon vclock.Time) map[Key]vclock.
 					gpuEv = e
 				}
 			case trace.KindOp:
-				if op == nil || e.Start > op.Start || (e.Start == op.Start && e.End < op.End) {
+				if op == nil || innerOp(*e, *op) {
 					op = e
 				}
 			}
@@ -313,6 +314,246 @@ func genNestedEvents(rng *rand.Rand, horizon vclock.Time) []trace.Event {
 		})
 	}
 	return events
+}
+
+// genAdversarialEvents generates event sets with none of the structure the
+// instrumentation guarantees: CPU events of arbitrary categories that
+// partially overlap (so closes arrive in non-LIFO order), timestamps
+// snapped to a coarse grid (so exact start/end ties are common), ops that
+// share names and boundaries, zero-width intervals, GPU events everywhere,
+// and transition markers landing on exact boundaries.
+func genAdversarialEvents(rng *rand.Rand, horizon vclock.Time) []trace.Event {
+	cpuCats := []trace.Category{trace.CatPython, trace.CatSimulator, trace.CatBackend, trace.CatCUDA}
+	gpuCats := []trace.Category{trace.CatGPUKernel, trace.CatGPUMemcpy}
+	opNames := []string{"alpha", "beta", "gamma", UntrackedOp}
+	labels := []string{trace.TransPythonToBackend, trace.TransPythonToSimulator, trace.TransBackendToCUDA}
+	grid := vclock.Time(1 + rng.Int63n(6))
+	randT := func() vclock.Time {
+		return vclock.Time(rng.Int63n(int64(horizon)/int64(grid))) * grid
+	}
+	n := 2 + rng.Intn(40)
+	events := make([]trace.Event, 0, n)
+	for i := 0; i < n; i++ {
+		s, e := randT(), randT()
+		if e < s {
+			s, e = e, s
+		}
+		if rng.Intn(6) == 0 {
+			e = s // zero-width
+		}
+		switch rng.Intn(6) {
+		case 0, 1:
+			events = append(events, trace.Event{
+				Kind: trace.KindCPU, Cat: cpuCats[rng.Intn(len(cpuCats))],
+				Start: s, End: e, Name: "cpu",
+			})
+		case 2:
+			events = append(events, trace.Event{
+				Kind: trace.KindGPU, Cat: gpuCats[rng.Intn(len(gpuCats))],
+				Start: s, End: e, Name: "k",
+			})
+		case 3, 4:
+			events = append(events, trace.Event{
+				Kind: trace.KindOp, Start: s, End: e,
+				Name: opNames[rng.Intn(len(opNames))],
+			})
+		default:
+			events = append(events, trace.Event{
+				Kind: trace.KindTransition, Start: s, End: s,
+				Name: labels[rng.Intn(len(labels))],
+			})
+		}
+	}
+	return events
+}
+
+func resultsEqual(a, b *Result) bool {
+	if len(a.ByKey) != len(b.ByKey) || len(a.Transitions) != len(b.Transitions) {
+		return false
+	}
+	for k, d := range a.ByKey {
+		if b.ByKey[k] != d {
+			return false
+		}
+	}
+	for k, n := range a.Transitions {
+		if b.Transitions[k] != n {
+			return false
+		}
+	}
+	return a.SpanStart == b.SpanStart && a.SpanEnd == b.SpanEnd
+}
+
+// TestSweepMatchesReferenceSweepAdversarial: on adversarial traces (exact
+// ties, non-LIFO close order, arbitrary overlap) the incremental sweep must
+// be byte-identical — ByKey, Transitions, and Span — to the retained
+// reference implementation.
+func TestSweepMatchesReferenceSweepAdversarial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := genAdversarialEvents(rng, 200)
+		return resultsEqual(Compute(events), refCompute(events))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdversarialBruteForceProperty checks the incremental sweep against
+// the unit-timestep oracle on adversarial traces (the oracle cannot check
+// Transitions or Span, but evaluates attribution from first principles).
+func TestAdversarialBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const horizon = vclock.Time(160)
+		events := genAdversarialEvents(rng, horizon)
+		got := Compute(events).ByKey
+		want := referenceCompute(events, horizon)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, d := range want {
+			if got[k] != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowPartitionProperty: for any partition of the timeline into 1–8
+// windows, the per-window sweeps must (a) each match the reference sweep on
+// that window and (b) sum to the whole-timeline result exactly — the
+// property the sharded analysis engine relies on.
+func TestWindowPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const horizon = vclock.Time(180)
+		var events []trace.Event
+		if rng.Intn(2) == 0 {
+			events = genAdversarialEvents(rng, horizon)
+		} else {
+			events = genNestedEvents(rng, horizon)
+		}
+		want := Compute(events)
+
+		// Random cut points partition (-inf, +inf).
+		nCuts := rng.Intn(8)
+		cuts := make([]vclock.Time, 0, nCuts+2)
+		cuts = append(cuts, vclock.MinTime)
+		for i := 0; i < nCuts; i++ {
+			cuts = append(cuts, vclock.Time(rng.Int63n(int64(horizon)+20)-10))
+		}
+		cuts = append(cuts, vclock.MaxTime)
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+		sum := &Result{
+			ByKey:       map[Key]vclock.Duration{},
+			Transitions: map[TransitionKey]int{},
+		}
+		spanSet := false
+		for i := 0; i+1 < len(cuts); i++ {
+			lo, hi := cuts[i], cuts[i+1]
+			if lo == hi {
+				continue
+			}
+			part := ComputeWindow(events, lo, hi)
+			if !resultsEqual(part, refComputeWindow(events, lo, hi)) {
+				return false
+			}
+			for k, d := range part.ByKey {
+				sum.ByKey[k] += d
+			}
+			for k, n := range part.Transitions {
+				sum.Transitions[k] += n
+			}
+			if part.SpanStart == 0 && part.SpanEnd == 0 && len(part.ByKey) == 0 {
+				continue // window saw no interval events
+			}
+			if !spanSet || part.SpanStart < sum.SpanStart {
+				sum.SpanStart = part.SpanStart
+			}
+			if !spanSet || part.SpanEnd > sum.SpanEnd {
+				sum.SpanEnd = part.SpanEnd
+			}
+			spanSet = true
+		}
+		return resultsEqual(sum, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonLIFOCloseOrder pins the adversarial case the innermost stacks must
+// absorb: partially overlapping CPU events whose closes arrive in the
+// opposite order from a call stack's.
+func TestNonLIFOCloseOrder(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 0, End: 60, Name: "a"},
+		{Kind: trace.KindCPU, Cat: trace.CatBackend, Start: 10, End: 40, Name: "b"},
+		// c starts inside b but outlives it — closes are non-LIFO.
+		{Kind: trace.KindCPU, Cat: trace.CatSimulator, Start: 20, End: 90, Name: "c"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUMemcpy, Start: 30, End: 70, Name: "m"},
+	}
+	got := Compute(events)
+	if !resultsEqual(got, refCompute(events)) {
+		t.Fatalf("non-LIFO close order diverges from reference:\n%v\nvs\n%v", got.ByKey, refCompute(events).ByKey)
+	}
+	// c (started 20, latest start) is innermost from 20 onward — including
+	// after b's non-LIFO close at 40 — so the whole GPU overlap [30,70)
+	// lands on it.
+	if d := got.Dur(UntrackedOp, ResCPU|ResGPU, trace.CatSimulator); d != 40 {
+		t.Fatalf("simulator CPU+GPU time = %v, want 40 (c innermost over [30,70))", d)
+	}
+}
+
+// TestGPUOutOfDomainCategory: the chunk decode path never validates
+// events, so a KindGPU event can reach the sweep with a category outside
+// {kernel, memcpy}. GPU-only intervals must label it with the event's own
+// category, exactly like the reference sweep — not collapse it to memcpy.
+func TestGPUOutOfDomainCategory(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindGPU, Cat: trace.CatNone, Start: 0, End: 40, Name: "weird"},
+		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: 10, End: 20, Name: "k"},
+		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: 30, End: 35, Name: "py"},
+	}
+	got := Compute(events)
+	if !resultsEqual(got, refCompute(events)) {
+		t.Fatalf("out-of-domain GPU category diverges from reference:\n%v\nvs\n%v",
+			got.ByKey, refCompute(events).ByKey)
+	}
+	if d := got.Dur(UntrackedOp, ResGPU, trace.CatNone); d != 25 {
+		t.Fatalf("GPU-only CatNone time = %v, want 25 ([0,10)+[20,30)+[35,40))", d)
+	}
+	if d := got.Dur(UntrackedOp, ResGPU, trace.CatGPUKernel); d != 10 {
+		t.Fatalf("kernel-labelled time = %v, want 10 (kernel precedence over [10,20))", d)
+	}
+}
+
+// TestExactTieClassification pins exact-tie behavior: events sharing both
+// endpoints resolve by the deterministic comparator chain, identically to
+// the reference sweep.
+func TestExactTieClassification(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindCPU, Cat: trace.CatSimulator, Start: 0, End: 50, Name: "sim"},
+		{Kind: trace.KindCPU, Cat: trace.CatBackend, Start: 0, End: 50, Name: "backend"},
+		{Kind: trace.KindOp, Start: 0, End: 50, Name: "zz"},
+		{Kind: trace.KindOp, Start: 0, End: 50, Name: "aa"},
+	}
+	got := Compute(events)
+	if !resultsEqual(got, refCompute(events)) {
+		t.Fatal("exact ties diverge from reference")
+	}
+	// Equal start and rank: higher Cat wins (CatBackend > CatSimulator is
+	// false — CatSimulator=2 < CatBackend=3, so Backend wins); equal op
+	// extents: lexicographically smaller name wins.
+	if d := got.Dur("aa", ResCPU, trace.CatBackend); d != 50 {
+		t.Fatalf("tie resolution: got %v for (aa, CPU, Backend), want 50; full=%v", d, got.ByKey)
+	}
 }
 
 func TestSweepMatchesBruteForceProperty(t *testing.T) {

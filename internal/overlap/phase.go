@@ -43,13 +43,17 @@ func Phases(events []trace.Event) []PhaseBreakdown {
 	if len(phases) == 0 {
 		return nil
 	}
+	// One pooled sweeper serves every phase window: its scratch buffers are
+	// sized by the first sweep and reused by the rest.
+	sw := sweepers.Get().(*Sweeper)
+	defer sweepers.Put(sw)
 	for pi := range phases {
 		p := &phases[pi]
 		// Run the overlap sweep restricted to the phase window, without
 		// transition scoping (only the resource/category sums below are
 		// consumed); the per-operation split the full sweep adds
 		// collapses back out in those sums.
-		res := computeWindow(events, p.Start, p.End, false)
+		res := sw.computeWindow(events, p.Start, p.End, false)
 		for k, d := range res.ByKey {
 			if k.Res&ResCPU != 0 {
 				p.CPU += d

@@ -1,0 +1,194 @@
+package overlap
+
+// This file retains the pre-incremental sweep implementation verbatim as a
+// reference oracle: it re-derives the classification of every elementary
+// interval by scanning the whole active set (O(n·k) for k concurrent
+// events, O(n²) in concurrency-heavy regimes) and accumulates into
+// string-keyed maps directly. The property tests prove the incremental
+// sweep byte-identical to it; BenchmarkOverlapDeepNesting measures the
+// speedup against it.
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func refCompute(events []trace.Event) *Result {
+	return refComputeWindow(events, vclock.MinTime, vclock.MaxTime)
+}
+
+func refComputeWindow(events []trace.Event, lo, hi vclock.Time) *Result {
+	res := &Result{
+		ByKey:       map[Key]vclock.Duration{},
+		Transitions: map[TransitionKey]int{},
+	}
+	type boundary struct {
+		t    vclock.Time
+		open bool
+		ev   int
+	}
+	var bounds []boundary
+	var spanSet bool
+	for i, e := range events {
+		switch e.Kind {
+		case trace.KindCPU, trace.KindGPU, trace.KindOp:
+			if e.End <= e.Start {
+				continue
+			}
+			if e.End <= lo || e.Start >= hi {
+				continue
+			}
+			bounds = append(bounds, boundary{e.Start, true, i}, boundary{e.End, false, i})
+			if !spanSet || e.Start < res.SpanStart {
+				res.SpanStart = e.Start
+			}
+			if !spanSet || e.End > res.SpanEnd {
+				res.SpanEnd = e.End
+			}
+			spanSet = true
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool {
+		if bounds[i].t != bounds[j].t {
+			return bounds[i].t < bounds[j].t
+		}
+		return !bounds[i].open && bounds[j].open
+	})
+
+	active := map[int]bool{}
+	var prev vclock.Time
+	first := true
+	for bi := 0; bi < len(bounds); {
+		t := bounds[bi].t
+		if !first && t > prev {
+			s, e := prev, t
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				if k, ok := refClassify(events, active); ok {
+					res.ByKey[k] += e.Sub(s)
+				}
+			}
+		}
+		for bi < len(bounds) && bounds[bi].t == t {
+			if bounds[bi].open {
+				active[bounds[bi].ev] = true
+			} else {
+				delete(active, bounds[bi].ev)
+			}
+			bi++
+		}
+		prev = t
+		first = false
+	}
+
+	var ops refOpIndex
+	opsBuilt := false
+	for _, e := range events {
+		if e.Kind != trace.KindTransition || e.Start < lo || e.Start >= hi {
+			continue
+		}
+		if !opsBuilt {
+			ops = refOpIntervals(events)
+			opsBuilt = true
+		}
+		res.Transitions[TransitionKey{Op: ops.at(e.Start), Label: e.Name}]++
+	}
+	return res
+}
+
+// refClassify determines the breakdown key by scanning the entire active
+// set — the per-interval O(k) cost the incremental sweep eliminates.
+func refClassify(events []trace.Event, active map[int]bool) (Key, bool) {
+	var (
+		cpuBest  trace.Event
+		cpuFound bool
+		gpuBest  trace.Event
+		gpuFound bool
+		opBest   trace.Event
+		opFound  bool
+	)
+	for idx := range active {
+		e := events[idx]
+		switch e.Kind {
+		case trace.KindCPU:
+			if !cpuFound || innerCPU(e, cpuBest) {
+				cpuBest, cpuFound = e, true
+			}
+		case trace.KindGPU:
+			if !gpuFound || (e.Cat == trace.CatGPUKernel && gpuBest.Cat != trace.CatGPUKernel) {
+				gpuBest, gpuFound = e, true
+			}
+		case trace.KindOp:
+			if !opFound || innerOp(e, opBest) {
+				opBest, opFound = e, true
+			}
+		}
+	}
+	if !cpuFound && !gpuFound {
+		return Key{}, false
+	}
+	k := Key{Op: UntrackedOp}
+	if opFound {
+		k.Op = opBest.Name
+	}
+	if cpuFound {
+		k.Res |= ResCPU
+		k.Cat = cpuBest.Cat
+	}
+	if gpuFound {
+		k.Res |= ResGPU
+		if !cpuFound {
+			k.Cat = gpuBest.Cat
+		}
+	}
+	return k, true
+}
+
+// refOpIndex answers "which operation is active at time t" queries with a
+// linear scan from the start of the sorted op table.
+type refOpIndex struct {
+	events []trace.Event
+}
+
+func refOpIntervals(events []trace.Event) refOpIndex {
+	var ops []trace.Event
+	for _, e := range events {
+		if e.Kind == trace.KindOp && e.End > e.Start {
+			ops = append(ops, e)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Start != ops[j].Start {
+			return ops[i].Start < ops[j].Start
+		}
+		if ops[i].End != ops[j].End {
+			return ops[i].End > ops[j].End
+		}
+		return ops[i].Name < ops[j].Name
+	})
+	return refOpIndex{events: ops}
+}
+
+func (ix refOpIndex) at(t vclock.Time) string {
+	var best trace.Event
+	found := false
+	for _, e := range ix.events {
+		if e.Start > t {
+			break
+		}
+		if t < e.End && (!found || innerOp(e, best)) {
+			best, found = e, true
+		}
+	}
+	if !found {
+		return UntrackedOp
+	}
+	return best.Name
+}

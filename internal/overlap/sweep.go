@@ -1,0 +1,486 @@
+package overlap
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Sweeper is the reusable scratch state of the incremental overlap sweep.
+// One sweep is O(n log n): the boundary sort dominates, and every elementary
+// interval is classified in O(1) amortized from state maintained across
+// boundaries instead of re-derived by scanning the active set.
+//
+// The state machine exploits the nesting structure the package doc proves:
+// within one process, CPU events and operation annotations nest like call
+// stacks, so the innermost active event of each kind is tracked with a
+// stack. The stack is ordered by the innermost-wins comparator (innerCPU /
+// innerOp) at all times: a later-starting event is always more deeply
+// nested than everything already active, and events opening at the same
+// instant are pushed outermost-first (the boundary sort guarantees it).
+// Adversarial inputs — partially overlapping "nested" events whose closes
+// arrive in non-LIFO order — cannot break the ordering, because the
+// comparator depends only on immutable event fields; a non-LIFO close is
+// simply marked dead in place and popped lazily when it surfaces. GPU
+// events never nest meaningfully and only contribute a resource bit and a
+// label — kernel when any kernel is in flight (a counter), otherwise the
+// category of the latest-starting active device event (a stack). A lone
+// non-kernel device event — even one decoded with an out-of-domain
+// category, which the chunk reader admits unvalidated — keeps its own
+// category, matching the old sweep; when several *distinct* non-kernel
+// categories overlap (impossible in a validated trace, where non-kernel
+// means memcpy) the latest-starting one wins, a deterministic refinement
+// of the old sweep's map-iteration-order pick.
+//
+// Operation names and categories are interned into dense small-int IDs at
+// sweep start, so the hot accumulator is a flat []vclock.Duration indexed
+// by a packed (opID, resource set, catID) code; the public map-shaped
+// Result is materialized once at the end. All buffers are retained across
+// calls, so a Sweeper reused over many windows (the analysis worker pool
+// does this) allocates almost nothing per sweep.
+//
+// A Sweeper is not safe for concurrent use; the package-level Compute and
+// ComputeWindow draw from an internal pool.
+type Sweeper struct {
+	bounds  []boundary
+	cpu     innerStack
+	ops     innerStack
+	gpu     innerStack
+	dead    []bool // per-event lazy close marks for non-LIFO orders
+	opIDs   map[string]int32
+	opNames []string
+	catSlot [256]int32 // Category -> interned slot+1; 0 means unassigned
+	cats    []trace.Category
+	accum   []vclock.Duration // dense (opID, res, catID) accumulator
+
+	// Transition scoping: innermost-op segment table, built lazily only
+	// for windows that contain transition markers.
+	opEvs   []trace.Event
+	segDead []bool
+	segs    []opSegment
+
+	sorter boundsSorter
+}
+
+// NewSweeper returns an empty Sweeper. The zero value is also usable; New
+// exists for symmetry with the rest of the codebase.
+func NewSweeper() *Sweeper { return &Sweeper{} }
+
+// boundary is one endpoint of an interval event. id carries the interned
+// category slot (KindCPU), the kernel flag (KindGPU: 1 for kernels, 0
+// otherwise), or the interned operation ID (KindOp), so applying a boundary
+// never touches the event table.
+type boundary struct {
+	t    vclock.Time
+	ev   int32
+	id   int32
+	kind trace.EventKind
+	open bool
+}
+
+// stackEntry is one active event on an innermost-tracking stack.
+type stackEntry struct {
+	ev int32
+	id int32
+}
+
+// innerStack tracks the active events of one kind, ordered outermost to
+// innermost. Closes that do not match the top mark the entry dead; dead
+// entries are popped when they surface, so every entry is pushed and popped
+// exactly once — O(1) amortized per boundary.
+type innerStack struct {
+	entries []stackEntry
+}
+
+func (st *innerStack) reset() { st.entries = st.entries[:0] }
+
+func (st *innerStack) push(e stackEntry) { st.entries = append(st.entries, e) }
+
+func (st *innerStack) close(ev int32, dead []bool) {
+	es := st.entries
+	for len(es) > 0 && dead[es[len(es)-1].ev] {
+		es = es[:len(es)-1]
+	}
+	if len(es) > 0 && es[len(es)-1].ev == ev {
+		es = es[:len(es)-1]
+	} else {
+		dead[ev] = true
+	}
+	st.entries = es
+}
+
+// top returns the innermost live entry, discarding dead entries on the way.
+func (st *innerStack) top(dead []bool) (stackEntry, bool) {
+	es := st.entries
+	for len(es) > 0 {
+		if e := es[len(es)-1]; !dead[e.ev] {
+			st.entries = es
+			return e, true
+		}
+		es = es[:len(es)-1]
+	}
+	st.entries = es
+	return stackEntry{}, false
+}
+
+// opSegment is one entry of the innermost-op segment table: the operation
+// owning instants in [start, next segment's start).
+type opSegment struct {
+	start vclock.Time
+	op    string
+}
+
+// Compute runs the sweep over one process's events using this Sweeper's
+// buffers. See the package-level Compute for semantics.
+func (sw *Sweeper) Compute(events []trace.Event) *Result {
+	return sw.computeWindow(events, vclock.MinTime, vclock.MaxTime, true)
+}
+
+// ComputeWindow runs the windowed sweep using this Sweeper's buffers. See
+// the package-level ComputeWindow for semantics.
+func (sw *Sweeper) ComputeWindow(events []trace.Event, lo, hi vclock.Time) *Result {
+	return sw.computeWindow(events, lo, hi, true)
+}
+
+func (sw *Sweeper) computeWindow(events []trace.Event, lo, hi vclock.Time, withTransitions bool) *Result {
+	res := &Result{
+		ByKey:       map[Key]vclock.Duration{},
+		Transitions: map[TransitionKey]int{},
+	}
+
+	// Pass 1: intern names/categories and collect window-relevant interval
+	// boundaries. Span uses the unclipped extent of included events so a
+	// partition of windows merges to the span Compute reports.
+	sw.resetInterners()
+	if cap(sw.dead) < len(events) {
+		sw.dead = make([]bool, len(events))
+	} else {
+		sw.dead = sw.dead[:len(events)]
+		clear(sw.dead)
+	}
+	sw.bounds = sw.bounds[:0]
+	spanSet := false
+	for i, e := range events {
+		switch e.Kind {
+		case trace.KindCPU, trace.KindGPU, trace.KindOp:
+			if e.End <= e.Start {
+				continue // zero-width intervals contribute nothing
+			}
+			if e.End <= lo || e.Start >= hi {
+				continue // entirely outside the window
+			}
+			var id int32
+			switch e.Kind {
+			case trace.KindCPU, trace.KindGPU:
+				id = sw.internCat(e.Cat)
+			case trace.KindOp:
+				id = sw.internOp(e.Name)
+			}
+			sw.bounds = append(sw.bounds,
+				boundary{e.Start, int32(i), id, e.Kind, true},
+				boundary{e.End, int32(i), id, e.Kind, false})
+			if !spanSet || e.Start < res.SpanStart {
+				res.SpanStart = e.Start
+			}
+			if !spanSet || e.End > res.SpanEnd {
+				res.SpanEnd = e.End
+			}
+			spanSet = true
+		}
+	}
+	sw.sortBounds(events)
+
+	// The dense accumulator: (opID, resource set, catID) -> duration.
+	nCats := len(sw.cats)
+	grid := len(sw.opNames) * 4 * nCats
+	if cap(sw.accum) < grid {
+		sw.accum = make([]vclock.Duration, grid)
+	} else {
+		sw.accum = sw.accum[:grid]
+		clear(sw.accum)
+	}
+	kernelCat := sw.catSlot[trace.CatGPUKernel] - 1 // -1 when no kernels exist
+
+	// Pass 2: the sweep proper. Classification state persists across
+	// elementary intervals; each boundary batch updates it in O(1)
+	// amortized, and each interval reads the stack tops directly.
+	sw.cpu.reset()
+	sw.ops.reset()
+	sw.gpu.reset()
+	kernels := 0
+	var prev vclock.Time
+	first := true
+	for bi := 0; bi < len(sw.bounds); {
+		t := sw.bounds[bi].t
+		if !first && t > prev {
+			// Accumulate only the part of [prev, t) inside [lo, hi).
+			s, e := prev, t
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				cpuTop, cpuOK := sw.cpu.top(sw.dead)
+				gpuTop, gpuOK := sw.gpu.top(sw.dead)
+				if cpuOK || gpuOK {
+					opID := int32(0)
+					if opTop, ok := sw.ops.top(sw.dead); ok {
+						opID = opTop.id
+					}
+					var rset, cat int32
+					if cpuOK {
+						rset = int32(ResCPU)
+						cat = cpuTop.id
+					}
+					if gpuOK {
+						rset |= int32(ResGPU)
+						if !cpuOK {
+							if kernels > 0 {
+								cat = kernelCat
+							} else {
+								cat = gpuTop.id
+							}
+						}
+					}
+					sw.accum[(opID*4+rset)*int32(nCats)+cat] += e.Sub(s)
+				}
+			}
+		}
+		for bi < len(sw.bounds) && sw.bounds[bi].t == t {
+			b := sw.bounds[bi]
+			switch b.kind {
+			case trace.KindCPU:
+				if b.open {
+					sw.cpu.push(stackEntry{b.ev, b.id})
+				} else {
+					sw.cpu.close(b.ev, sw.dead)
+				}
+			case trace.KindOp:
+				if b.open {
+					sw.ops.push(stackEntry{b.ev, b.id})
+				} else {
+					sw.ops.close(b.ev, sw.dead)
+				}
+			case trace.KindGPU:
+				if b.open {
+					sw.gpu.push(stackEntry{b.ev, b.id})
+					if b.id == kernelCat {
+						kernels++
+					}
+				} else {
+					sw.gpu.close(b.ev, sw.dead)
+					if b.id == kernelCat {
+						kernels--
+					}
+				}
+			}
+			bi++
+		}
+		prev = t
+		first = false
+	}
+
+	// Materialize the dense grid into the public map shape.
+	for op := range sw.opNames {
+		for rset := 1; rset < 4; rset++ {
+			base := (op*4 + rset) * nCats
+			for c := 0; c < nCats; c++ {
+				if d := sw.accum[base+c]; d != 0 {
+					res.ByKey[Key{Op: sw.opNames[op], Res: ResourceSet(rset), Cat: sw.cats[c]}] = d
+				}
+			}
+		}
+	}
+
+	if !withTransitions {
+		return res
+	}
+	// Transition markers are scoped to the innermost operation active at
+	// the marker's timestamp. The segment table is built lazily so windows
+	// without markers skip its sort entirely.
+	built := false
+	for _, e := range events {
+		if e.Kind != trace.KindTransition || e.Start < lo || e.Start >= hi {
+			continue
+		}
+		if !built {
+			sw.buildSegments(events)
+			built = true
+		}
+		res.Transitions[TransitionKey{Op: sw.opAt(e.Start), Label: e.Name}]++
+	}
+	return res
+}
+
+func (sw *Sweeper) resetInterners() {
+	if sw.opIDs == nil {
+		sw.opIDs = make(map[string]int32)
+	} else {
+		clear(sw.opIDs)
+	}
+	sw.opNames = append(sw.opNames[:0], UntrackedOp)
+	// Seed the untracked name so an operation literally named UntrackedOp
+	// shares its ID (and therefore its Key) instead of materializing a
+	// second, clobbering entry.
+	sw.opIDs[UntrackedOp] = 0
+	for _, c := range sw.cats {
+		sw.catSlot[c] = 0
+	}
+	sw.cats = sw.cats[:0]
+}
+
+func (sw *Sweeper) internOp(name string) int32 {
+	if id, ok := sw.opIDs[name]; ok {
+		return id
+	}
+	id := int32(len(sw.opNames))
+	sw.opIDs[name] = id
+	sw.opNames = append(sw.opNames, name)
+	return id
+}
+
+func (sw *Sweeper) internCat(c trace.Category) int32 {
+	if s := sw.catSlot[c]; s != 0 {
+		return s - 1
+	}
+	sw.cats = append(sw.cats, c)
+	sw.catSlot[c] = int32(len(sw.cats))
+	return int32(len(sw.cats) - 1)
+}
+
+// sortBounds orders boundaries by time with closes before opens, so
+// back-to-back intervals never appear concurrent. Opens at the same instant
+// are ordered outermost-first per kind, which is what lets the sweep push
+// them onto the stacks in nesting order; close order is immaterial (lazy
+// deletion absorbs it) and tied down only for determinism. The sorter is a
+// concrete sort.Interface kept in the Sweeper: sort.Slice's reflection
+// swapper allocates per call and shows up at tiny-trace scale.
+func (sw *Sweeper) sortBounds(events []trace.Event) {
+	sw.sorter.bounds, sw.sorter.events = sw.bounds, events
+	sort.Sort(&sw.sorter)
+	sw.sorter.events = nil
+}
+
+// boundsSorter implements sort.Interface over a boundary slice.
+type boundsSorter struct {
+	bounds []boundary
+	events []trace.Event
+}
+
+func (s *boundsSorter) Len() int      { return len(s.bounds) }
+func (s *boundsSorter) Swap(i, j int) { s.bounds[i], s.bounds[j] = s.bounds[j], s.bounds[i] }
+
+func (s *boundsSorter) Less(i, j int) bool {
+	bi, bj := &s.bounds[i], &s.bounds[j]
+	if bi.t != bj.t {
+		return bi.t < bj.t
+	}
+	if bi.open != bj.open {
+		return !bi.open
+	}
+	if !bi.open || bi.kind != bj.kind {
+		return eventOrder(bi, bj)
+	}
+	switch bi.kind {
+	case trace.KindCPU:
+		if innerCPU(s.events[bi.ev], s.events[bj.ev]) {
+			return false // i is more inner: push it later
+		}
+		if innerCPU(s.events[bj.ev], s.events[bi.ev]) {
+			return true
+		}
+	case trace.KindOp:
+		if innerOp(s.events[bi.ev], s.events[bj.ev]) {
+			return false
+		}
+		if innerOp(s.events[bj.ev], s.events[bi.ev]) {
+			return true
+		}
+	}
+	return eventOrder(bi, bj)
+}
+
+// eventOrder is the deterministic fallback ordering for boundaries whose
+// relative order cannot affect the sweep.
+func eventOrder(a, b *boundary) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.ev < b.ev
+}
+
+// buildSegments constructs the innermost-op segment table for transition
+// scoping: a mini-sweep over operation intervals only, recording the
+// innermost operation of every elementary interval. Lookups then binary
+// search the table instead of scanning the op list per marker.
+func (sw *Sweeper) buildSegments(events []trace.Event) {
+	sw.opEvs = sw.opEvs[:0]
+	sw.segs = sw.segs[:0]
+	for _, e := range events {
+		if e.Kind == trace.KindOp && e.End > e.Start {
+			sw.opEvs = append(sw.opEvs, e)
+		}
+	}
+	if len(sw.opEvs) == 0 {
+		return
+	}
+	sw.bounds = sw.bounds[:0]
+	for i, e := range sw.opEvs {
+		sw.bounds = append(sw.bounds,
+			boundary{e.Start, int32(i), 0, trace.KindOp, true},
+			boundary{e.End, int32(i), 0, trace.KindOp, false})
+	}
+	sw.sortBounds(sw.opEvs)
+	if cap(sw.segDead) < len(sw.opEvs) {
+		sw.segDead = make([]bool, len(sw.opEvs))
+	} else {
+		sw.segDead = sw.segDead[:len(sw.opEvs)]
+		clear(sw.segDead)
+	}
+	sw.ops.reset()
+	var prev vclock.Time
+	first := true
+	for bi := 0; bi < len(sw.bounds); {
+		t := sw.bounds[bi].t
+		if !first && t > prev {
+			name := UntrackedOp
+			if top, ok := sw.ops.top(sw.segDead); ok {
+				name = sw.opEvs[top.ev].Name
+			}
+			if len(sw.segs) == 0 || sw.segs[len(sw.segs)-1].op != name {
+				sw.segs = append(sw.segs, opSegment{prev, name})
+			}
+		}
+		for bi < len(sw.bounds) && sw.bounds[bi].t == t {
+			b := sw.bounds[bi]
+			if b.open {
+				sw.ops.push(stackEntry{b.ev, 0})
+			} else {
+				sw.ops.close(b.ev, sw.segDead)
+			}
+			bi++
+		}
+		prev = t
+		first = false
+	}
+	// Sentinel: instants at or past the last boundary are untracked.
+	if sw.segs[len(sw.segs)-1].op != UntrackedOp {
+		sw.segs = append(sw.segs, opSegment{prev, UntrackedOp})
+	}
+}
+
+// opAt returns the innermost operation covering t, or UntrackedOp —
+// agreeing with duration attribution on which operation owns an instant,
+// including under exact ties, because both derive from the same stack
+// machine. The lookup is a binary search over the segment table.
+func (sw *Sweeper) opAt(t vclock.Time) string {
+	segs := sw.segs
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].start > t })
+	if i == 0 {
+		return UntrackedOp
+	}
+	return segs[i-1].op
+}

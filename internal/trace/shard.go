@@ -22,8 +22,11 @@ type Shard struct {
 	// Lo and Hi bound the analysis window. The first shard of a process
 	// extends to vclock.MinTime and the last to vclock.MaxTime.
 	Lo, Hi vclock.Time
-	// Events holds copies of the process events overlapping [Lo, Hi); an
-	// event spanning several windows appears in each of their shards.
+	// Events holds the process events overlapping [Lo, Hi); an event
+	// spanning several windows appears in each of their shards. For a
+	// process with phase windows the slice is a copy; a process covered by
+	// a single full-timeline window aliases the trace's (sorted) slice, so
+	// treat shard events as read-only.
 	Events []Event
 }
 
@@ -34,13 +37,34 @@ type Shard struct {
 func (t *Trace) Shards() []Shard {
 	t.Sort()
 	var shards []Shard
-	for _, p := range t.ProcIDs() {
-		events := t.ProcEvents(p)
+	// Events are (proc, start)-sorted, so per-process slices are found by a
+	// single pass instead of a ProcIDs map build plus per-process binary
+	// searches (each of which re-ran Sort's O(n) order check).
+	for first := 0; first < len(t.Events); {
+		p := t.Events[first].Proc
+		past := first + 1
+		for past < len(t.Events) && t.Events[past].Proc == p {
+			past++
+		}
+		events := t.Events[first:past]
+		first = past
+		windows := PhasePartition(events)
+		if len(windows) == 1 {
+			// Single full-timeline window (no phase annotations): the
+			// shard covers every event of the process, so it can alias
+			// the trace's slice instead of copying it.
+			shards = append(shards, Shard{
+				Proc: p, Phase: windows[0].Phase,
+				Lo: windows[0].Lo, Hi: windows[0].Hi,
+				Events: events,
+			})
+			continue
+		}
 		// Windows ascend and events are Start-sorted, so the scan for
 		// each window starts past the prefix of events that ended before
 		// the window and stops at the first event starting after it.
 		base := 0
-		for _, w := range PhasePartition(events) {
+		for _, w := range windows {
 			for base < len(events) && deadBefore(events[base], w.Lo) {
 				base++
 			}

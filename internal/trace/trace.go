@@ -86,23 +86,56 @@ func (f FeatureFlags) String() string {
 // enclosing events precede the events they contain. The overlap sweep and
 // overhead correction both require this order.
 func (t *Trace) Sort() {
-	less := func(i, j int) bool {
-		a, b := t.Events[i], t.Events[j]
-		if a.Proc != b.Proc {
-			return a.Proc < b.Proc
-		}
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		return a.End > b.End
-	}
 	// The analysis hot path calls Sort once per ProcEvents lookup; an O(n)
 	// order check keeps repeat calls cheap without caching sortedness
-	// state that direct Events mutation could silently invalidate.
-	if sort.SliceIsSorted(t.Events, less) {
+	// state that direct Events mutation could silently invalidate. The
+	// check is a hand-inlined neighbor scan: the closure-based
+	// sort.SliceIsSorted was a top profile entry at production trace scale.
+	if t.isSorted() {
 		return
 	}
-	sort.SliceStable(t.Events, less)
+	sort.Stable(eventSorter(t.Events))
+}
+
+// eventSorter implements Sort's order as a concrete sort.Interface, which
+// avoids sort.SliceStable's per-call reflection swapper allocation.
+type eventSorter []Event
+
+func (s eventSorter) Len() int      { return len(s) }
+func (s eventSorter) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s eventSorter) Less(i, j int) bool {
+	a, b := &s[i], &s[j]
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.End > b.End
+}
+
+// isSorted reports whether Events is already in Sort order.
+func (t *Trace) isSorted() bool {
+	evs := t.Events
+	for i := 1; i < len(evs); i++ {
+		a, b := &evs[i-1], &evs[i]
+		if a.Proc != b.Proc {
+			if a.Proc > b.Proc {
+				return false
+			}
+			continue
+		}
+		if a.Start != b.Start {
+			if a.Start > b.Start {
+				return false
+			}
+			continue
+		}
+		if a.End < b.End {
+			return false
+		}
+	}
+	return true
 }
 
 // ProcEvents returns the events belonging to one process, in Sort order.
