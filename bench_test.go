@@ -1,3 +1,4 @@
+//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy wrappers (they must stay byte-identical to the Engine)
 package rlscope
 
 // One benchmark per paper table and figure (see DESIGN.md's per-experiment
@@ -8,6 +9,7 @@ package rlscope
 // of the whole evaluation.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -412,6 +414,44 @@ var streamingBenchDir = sync.OnceValues(func() (string, error) {
 	}
 	return dir, nil
 })
+
+// BenchmarkEngineAnalysis gates the Engine front door's cost: the same
+// Minigo-scale trace analyzed through the direct analysis.Run path and
+// through NewEngine().Analyze(FromTrace(...)). The wrapper adds one Source
+// resolution, one options translation, and one Report allocation per call —
+// nothing per event — so the two variants must stay indistinguishable; the
+// bench gate enforces it by holding both to the same baseline.
+func BenchmarkEngineAnalysis(b *testing.B) {
+	tr, err := parallelBenchTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := analysis.Run(tr, analysis.Options{Workers: 1}); len(r) == 0 {
+				b.Fatal("empty analysis")
+			}
+		}
+		b.ReportMetric(float64(len(tr.Events)), "events")
+	})
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := NewEngine(WithWorkers(1))
+		src := FromTrace(tr)
+		for i := 0; i < b.N; i++ {
+			rep, err := eng.Analyze(ctx, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rep.Results) == 0 {
+				b.Fatal("empty analysis")
+			}
+		}
+		b.ReportMetric(float64(len(tr.Events)), "events")
+	})
+}
 
 // BenchmarkStreamingAnalysis measures the streaming ingestion + incremental
 // analysis path against load-then-analyze on the same on-disk trace. The

@@ -1,8 +1,7 @@
 // Command rlscope-analyze performs RL-Scope's offline analysis on a trace
 // directory previously written by rlscope-prof: the cross-stack overlap
-// breakdown per process, with optional overhead correction. The overlap
-// computation fans (process, phase) shards out over a worker pool sized by
-// -workers; results are identical for every pool size.
+// breakdown per process through the rlscope.Engine, with the worker pool
+// sized by -workers; results are identical for every pool size.
 //
 // By default the trace is analyzed *streamingly*: chunk files are decoded
 // lazily and fed to the shard pool as they arrive, so memory stays bounded
@@ -11,18 +10,25 @@
 // explicit -materialize — load the trace as before; the results are
 // byte-identical either way.
 //
+// Ctrl-C (or SIGTERM) cancels the analysis cleanly: in-flight workers are
+// drained, and a streaming run reports the partial streaming statistics it
+// accumulated instead of dying mid-write.
+//
 // Usage:
 //
 //	rlscope-analyze -trace /tmp/trace [-workers N] [-max-resident BYTES] [-materialize]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
-	"repro/internal/analysis"
+	rlscope "repro"
 	"repro/internal/overlap"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -46,15 +52,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C cancels the engine's context; every worker is drained before
+	// Analyze returns, so the partial-stats report below never races an
+	// in-flight shard computation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := rlscope.NewEngine(
+		rlscope.WithWorkers(*workers),
+		rlscope.WithMaxResidentBytes(*maxResident),
+	)
+
 	// -phases and the report modes below consume the full event list, so
 	// they force materialization; plain breakdowns stream.
 	needTrace := *materialize || *summary || *timeline || *tree || *phases
 
 	var (
-		tr      *trace.Trace
-		meta    trace.Meta
-		results map[trace.ProcID]*overlap.Result
-		nevents int
+		tr  *trace.Trace
+		src rlscope.Source
 	)
 	if needTrace {
 		var err error
@@ -63,29 +78,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
 			os.Exit(1)
 		}
-		meta = tr.Meta
-		nevents = len(tr.Events)
+		src = rlscope.FromTrace(tr)
 	} else {
-		r, err := trace.OpenDir(*dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
-			os.Exit(1)
+		src = rlscope.FromDir(*dir)
+	}
+
+	rep, err := eng.Analyze(ctx, src)
+	if err != nil {
+		if ctx.Err() != nil && rep != nil {
+			// Interrupted: report how far the run got instead of dying
+			// mid-write. The stats are complete up to the cancellation
+			// point; results are discarded.
+			st := rep.Stats
+			fmt.Fprintf(os.Stderr, "rlscope-analyze: interrupted: %v\n", err)
+			fmt.Fprintf(os.Stderr, "rlscope-analyze: partial progress: %d of %d chunks decoded (%d events), %d window computations dispatched, peak resident %d events (%d bytes), %d evictions\n",
+				st.ChunksDecoded, st.Chunks, st.Events, st.Shards, st.PeakResidentEvents, st.PeakResidentBytes, st.Evictions)
+			os.Exit(130)
 		}
-		meta = r.Meta()
-		var stats analysis.StreamStats
-		results, stats, err = analysis.RunStream(r, analysis.Options{
-			Workers: *workers, MaxResidentBytes: *maxResident,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
-			os.Exit(1)
-		}
-		nevents = stats.Events
+		fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
+		os.Exit(1)
+	}
+	meta := rep.Meta
+	results := rep.Results
+	if !needTrace {
 		fmt.Fprintf(os.Stderr, "rlscope-analyze: streamed %d chunks, peak resident %d events\n",
-			stats.Chunks, stats.PeakResidentEvents)
+			rep.Stats.Chunks, rep.Stats.PeakResidentEvents)
 	}
 	fmt.Fprintf(os.Stderr, "rlscope-analyze: %s (%d events, flags %s)\n",
-		meta.Workload, nevents, meta.Config)
+		meta.Workload, rep.Stats.Events, meta.Config)
 
 	if *summary {
 		fmt.Print(trace.Summarize(tr))
@@ -95,10 +115,6 @@ func main() {
 		start, end := tr.Span()
 		fmt.Print(report.Timeline(tr.ProcEvents(0), start, end, 100))
 		fmt.Println()
-	}
-
-	if results == nil {
-		results = analysis.Run(tr, analysis.Options{Workers: *workers})
 	}
 	if *tree {
 		fmt.Print(report.ProcessTree(tr, results))

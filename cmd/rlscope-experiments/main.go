@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -39,14 +42,27 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	opts := experiments.Options{Steps: *steps, Seed: *seed}
+	// Ctrl-C cancels the experiment pipelines' context: the harnesses stop
+	// dispatching replay/analysis jobs, drain the in-flight ones, and the
+	// loop below stops before the next experiment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := experiments.Options{Steps: *steps, Seed: *seed, Context: ctx}
 
 	for _, id := range order {
 		if !want[id] {
 			continue
 		}
 		delete(want, id)
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "rlscope-experiments: interrupted before %s: %v\n", id, err)
+			os.Exit(130)
+		}
 		if err := runOne(id, opts); err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "rlscope-experiments: %s interrupted: %v\n", id, err)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "rlscope-experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}

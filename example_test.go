@@ -1,6 +1,8 @@
+//lint:file-ignore SA1019 one example below deliberately documents the deprecated legacy wrappers
 package rlscope_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -41,9 +43,13 @@ func ExampleNew() {
 	sess.Close()
 
 	tr := p.MustTrace()
-	res := rlscope.Analyze(tr)[sess.Proc()]
+	rep, err := rlscope.NewEngine().Analyze(context.Background(), rlscope.FromTrace(tr))
+	if err != nil {
+		panic(err)
+	}
+	res := rep.Results[sess.Proc()]
 	// "(untracked)" is the profiler's own book-keeping time between
-	// operations — the overhead that Calibrate measures and Correct
+	// operations — the overhead that Calibrate measures and WithCorrection
 	// subtracts.
 	fmt.Println("operations:", res.OpNames())
 	fmt.Println("simulation slower than inference:",
@@ -55,10 +61,10 @@ func ExampleNew() {
 	// inference ran GPU kernels: true
 }
 
-// ExampleAnalyze runs the cross-stack overlap computation over the paper's
+// ExampleEngine runs the cross-stack overlap computation over the paper's
 // Figure 3 worked example: an mcts_tree_search operation containing two
 // expand_leaf operations, each overlapping a GPU kernel.
-func ExampleAnalyze() {
+func ExampleEngine() {
 	ms := func(f float64) vclock.Time { return vclock.Time(f * float64(vclock.Millisecond)) }
 	tr := &rlscope.Trace{Events: []rlscope.Event{
 		{Kind: trace.KindCPU, Cat: trace.CatPython, Start: ms(0), End: ms(3.74), Name: "python"},
@@ -68,7 +74,11 @@ func ExampleAnalyze() {
 		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(1.05), End: ms(1.90), Name: "expand"},
 		{Kind: trace.KindGPU, Cat: trace.CatGPUKernel, Start: ms(2.75), End: ms(3.60), Name: "expand"},
 	}}
-	res := rlscope.Analyze(tr)[0]
+	rep, err := rlscope.NewEngine(rlscope.WithWorkers(1)).Analyze(context.Background(), rlscope.FromTrace(tr))
+	if err != nil {
+		panic(err)
+	}
+	res := rep.Results[0]
 	fmt.Println("CPU, mcts_tree_search:", res.CPUTime("mcts_tree_search")-res.GPUTime("mcts_tree_search"))
 	fmt.Println("GPU+CPU, expand_leaf: ", res.GPUTime("expand_leaf"))
 	// Output:
@@ -76,8 +86,155 @@ func ExampleAnalyze() {
 	// GPU+CPU, expand_leaf:  1.7ms
 }
 
-// ExampleAnalyzeParallel analyzes a multi-process trace on a worker pool.
-// Results are byte-identical to Analyze for every worker count.
+// ExampleEngine_streaming analyzes a chunked trace directory with bounded
+// memory: chunks decode lazily and each (process, phase) shard is analyzed
+// as soon as its last contributing chunk arrives. The result is
+// byte-identical to analyzing the materialized trace.
+func ExampleEngine_streaming() {
+	p := rlscope.New(rlscope.Options{Workload: "streaming-example", Seed: 7})
+	sess := p.NewProcess("trainer", -1, 0)
+	sess.SetPhase("training")
+	for i := 0; i < 50; i++ {
+		sess.WithOperation("inference", func() {
+			sess.Clock().Advance(vclock.Millisecond)
+		})
+	}
+	sess.Close()
+
+	dir, err := os.MkdirTemp("", "rlscope-example-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := p.WriteTo(dir); err != nil {
+		panic(err)
+	}
+
+	eng := rlscope.NewEngine(
+		rlscope.WithWorkers(2),
+		rlscope.WithMaxResidentBytes(32<<10), // keep ≤ ~32 KiB of decoded events resident
+	)
+	streamed, err := eng.Analyze(context.Background(), rlscope.FromDir(dir))
+	if err != nil {
+		panic(err)
+	}
+	materialized, err := eng.Analyze(context.Background(), rlscope.FromTrace(mustReadDir(dir)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("inference time:", streamed.Results[0].OpTotal("inference"))
+	fmt.Println("identical to materialized analysis:",
+		streamed.Results[0].OpTotal("inference") == materialized.Results[0].OpTotal("inference"))
+	// Output:
+	// inference time: 50ms
+	// identical to materialized analysis: true
+}
+
+func mustReadDir(dir string) *rlscope.Trace {
+	tr, err := trace.ReadDir(dir)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// exampleRunner replays the same workload under the feature-flag subsets
+// calibration requests.
+func exampleRunner() rlscope.Runner {
+	return func(flags rlscope.FeatureFlags, seed int64) (*rlscope.RunStats, error) {
+		p := rlscope.New(rlscope.Options{Workload: "calib-example", Flags: flags, Seed: seed})
+		dev := gpu.NewDevice(-1)
+		sess := p.NewProcess("trainer", -1, 0)
+		ctx := cuda.NewContext(sess, dev, cuda.DefaultCosts())
+		for i := 0; i < 50; i++ {
+			sess.WithOperation("step", func() {
+				sess.CallBackend("train", func() {
+					ctx.LaunchKernel("k", 3*vclock.Microsecond)
+					ctx.StreamSynchronize()
+				})
+			})
+		}
+		sess.Close()
+		return rlscope.StatsFromTrace(p.MustTrace(), flags, p.OverheadCounts(), p.TotalTime()), nil
+	}
+}
+
+// ExampleCalibrate measures the profiler's own book-keeping costs and
+// subtracts them from an instrumented trace (§3.4, Appendix C).
+func ExampleCalibrate() {
+	runner := exampleRunner()
+	cal, err := rlscope.Calibrate(runner, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("interception cost calibrated:", cal.Interception > 0)
+	fmt.Println("CUDA hook cost calibrated:   ", cal.CUDAIntercept > 0)
+
+	// Correct an instrumented run: overhead is subtracted at the points
+	// where the book-keeping occurred, and the markers disappear.
+	stats, _ := runner(rlscope.FullInstrumentation(), 99)
+	corrected := rlscope.Correct(stats.Trace, cal)
+	fmt.Println("overhead markers removed:    ", corrected.CountKind(trace.KindOverhead) == 0)
+	// Output:
+	// interception cost calibrated: true
+	// CUDA hook cost calibrated:    true
+	// overhead markers removed:     true
+}
+
+// ExampleWithCorrection composes calibration into the Engine: the streaming
+// analysis corrects each event in flight, producing overhead-corrected
+// breakdowns under a memory budget without materializing the corrected
+// trace — byte-identical to Correct-then-analyze.
+func ExampleWithCorrection() {
+	runner := exampleRunner()
+	cal, err := rlscope.Calibrate(runner, 7)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	stats, _ := runner(rlscope.FullInstrumentation(), 99)
+
+	dir, err := os.MkdirTemp("", "rlscope-corrected-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	w, err := trace.NewWriter(dir, 4<<10)
+	if err != nil {
+		panic(err)
+	}
+	w.Append(stats.Trace.Events...)
+	if err := w.Close(stats.Trace.Meta); err != nil {
+		panic(err)
+	}
+
+	eng := rlscope.NewEngine(
+		rlscope.WithCorrection(cal),
+		rlscope.WithMaxResidentBytes(16<<10),
+	)
+	rep, err := eng.Analyze(context.Background(), rlscope.FromDir(dir))
+	if err != nil {
+		panic(err)
+	}
+	materialized, err := rlscope.NewEngine().Analyze(
+		context.Background(), rlscope.FromTrace(rlscope.Correct(stats.Trace, cal)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("corrected streaming ran:", rep.Corrected)
+	fmt.Println("matches Correct-then-analyze:",
+		rep.Results[0].OpTotal("step") == materialized.Results[0].OpTotal("step"))
+	// Output:
+	// corrected streaming ran: true
+	// matches Correct-then-analyze: true
+}
+
+// ExampleAnalyzeParallel analyzes a multi-process trace through the legacy
+// free-function API.
+//
+// Deprecated: new code should configure an Engine (see ExampleEngine); the
+// legacy entry points are thin wrappers over it, kept for compatibility.
 func ExampleAnalyzeParallel() {
 	p := rlscope.New(rlscope.Options{Workload: "parallel-example", Seed: 7})
 	for w := 0; w < 4; w++ {
@@ -98,93 +255,4 @@ func ExampleAnalyzeParallel() {
 	// Output:
 	// processes analyzed: 4
 	// worker0 mcts time:   5ms
-}
-
-// ExampleAnalyzeDir streams a chunked trace directory through the analysis
-// engine with bounded memory: chunks are decoded lazily and each
-// (process, phase) shard is analyzed as soon as its last contributing chunk
-// arrives. The result is byte-identical to materializing the trace first.
-func ExampleAnalyzeDir() {
-	p := rlscope.New(rlscope.Options{Workload: "streaming-example", Seed: 7})
-	sess := p.NewProcess("trainer", -1, 0)
-	sess.SetPhase("training")
-	for i := 0; i < 50; i++ {
-		sess.WithOperation("inference", func() {
-			sess.Clock().Advance(vclock.Millisecond)
-		})
-	}
-	sess.Close()
-
-	dir, err := os.MkdirTemp("", "rlscope-example-")
-	if err != nil {
-		panic(err)
-	}
-	defer os.RemoveAll(dir)
-	if err := p.WriteTo(dir); err != nil {
-		panic(err)
-	}
-
-	results, err := rlscope.AnalyzeDir(dir, rlscope.AnalysisOptions{
-		Workers:          2,
-		MaxResidentBytes: 32 << 10, // keep ≤ ~32 KiB of decoded events resident
-	})
-	if err != nil {
-		panic(err)
-	}
-	materialized := rlscope.AnalyzeParallel(mustReadDir(dir), rlscope.AnalysisOptions{Workers: 1})
-	fmt.Println("inference time:", results[0].OpTotal("inference"))
-	fmt.Println("identical to materialized analysis:",
-		results[0].OpTotal("inference") == materialized[0].OpTotal("inference"))
-	// Output:
-	// inference time: 50ms
-	// identical to materialized analysis: true
-}
-
-func mustReadDir(dir string) *rlscope.Trace {
-	tr, err := trace.ReadDir(dir)
-	if err != nil {
-		panic(err)
-	}
-	return tr
-}
-
-// ExampleCalibrate measures the profiler's own book-keeping costs and
-// subtracts them from an instrumented trace (§3.4, Appendix C).
-func ExampleCalibrate() {
-	// A Runner replays the same workload under the feature-flag subsets
-	// calibration requests.
-	runner := rlscope.Runner(func(flags rlscope.FeatureFlags, seed int64) (*rlscope.RunStats, error) {
-		p := rlscope.New(rlscope.Options{Workload: "calib-example", Flags: flags, Seed: seed})
-		dev := gpu.NewDevice(-1)
-		sess := p.NewProcess("trainer", -1, 0)
-		ctx := cuda.NewContext(sess, dev, cuda.DefaultCosts())
-		for i := 0; i < 50; i++ {
-			sess.WithOperation("step", func() {
-				sess.CallBackend("train", func() {
-					ctx.LaunchKernel("k", 3*vclock.Microsecond)
-					ctx.StreamSynchronize()
-				})
-			})
-		}
-		sess.Close()
-		return rlscope.StatsFromTrace(p.MustTrace(), flags, p.OverheadCounts(), p.TotalTime()), nil
-	})
-
-	cal, err := rlscope.Calibrate(runner, 7)
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
-	fmt.Println("interception cost calibrated:", cal.Interception > 0)
-	fmt.Println("CUDA hook cost calibrated:   ", cal.CUDAIntercept > 0)
-
-	// Correct an instrumented run: overhead is subtracted at the points
-	// where the book-keeping occurred, and the markers disappear.
-	stats, _ := runner(rlscope.FullInstrumentation(), 99)
-	corrected := rlscope.Correct(stats.Trace, cal)
-	fmt.Println("overhead markers removed:    ", corrected.CountKind(trace.KindOverhead) == 0)
-	// Output:
-	// interception cost calibrated: true
-	// CUDA hook cost calibrated:    true
-	// overhead markers removed:     true
 }

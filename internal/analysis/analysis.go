@@ -11,13 +11,62 @@
 // the sequential sweep sees. Run therefore returns byte-identical results
 // for any worker count, including Workers: 1, which executes inline with no
 // goroutines at all.
+//
+// Both entry points have context-aware forms (RunContext, RunStreamContext)
+// that stop dispatching work as soon as the context is cancelled and join
+// every worker goroutine before returning — cancellation drains the pool,
+// it never leaks it.
 package analysis
 
 import (
+	"context"
+
 	"repro/internal/overlap"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
+
+// EventStage is a per-event transform plugged into the streaming engine
+// between chunk decode and shard routing. The streaming overhead-correction
+// stage (calib.Corrector) is the canonical implementation: it shifts every
+// event's timestamps left by the calibrated overhead that preceded them and
+// drops the overhead markers themselves, so a corrected analysis runs in
+// bounded memory without ever materializing the corrected trace.
+type EventStage interface {
+	// MapEvent rewrites one event in place; returning false drops it.
+	// The transform must depend only on the event's own fields (plus any
+	// state frozen before the analysis pass), never on decode order.
+	MapEvent(e *trace.Event) bool
+	// MapSpan rewrites a chunk sidecar's per-process span conservatively:
+	// the returned span must contain the MapEvent-transformed extent of
+	// every event the input span summarizes. The planner derives chunk
+	// relevance and eviction watermarks from mapped spans, so soundness of
+	// the bound — not tightness — is what keeps budgeted streaming exact.
+	MapSpan(p trace.ProcID, sp trace.ProcSpan) trace.ProcSpan
+}
+
+// Progress stage labels.
+const (
+	// StageCorrect is the streaming correction pre-pass (marker collection).
+	StageCorrect = "correct"
+	// StageAnalyze is the analysis pass itself.
+	StageAnalyze = "analyze"
+)
+
+// Progress is one notification from a running analysis, delivered on the
+// producing goroutine (callbacks need no locking). Streaming runs report
+// after every chunk; materialized runs report once, on completion.
+type Progress struct {
+	// Stage is StageCorrect or StageAnalyze.
+	Stage string
+	// ChunksDone and Chunks count chunk files processed so far (zero for
+	// materialized sources, which have no chunks).
+	ChunksDone, Chunks int
+	// Shards counts window computations dispatched so far.
+	Shards int
+	// Events counts events read so far.
+	Events int
+}
 
 // Options configures a parallel analysis.
 type Options struct {
@@ -33,21 +82,62 @@ type Options struct {
 	// the whole trace, must stay resident regardless. Ignored by Run,
 	// which materializes the trace by definition.
 	MaxResidentBytes int64
+	// Procs, when non-empty, restricts the analysis to the listed
+	// processes. The streaming engine additionally skips decoding chunks
+	// that contribute to none of them.
+	Procs []trace.ProcID
+	// Stage, when non-nil, transforms every event between decode and
+	// analysis — the streaming correction stage. Consumed by RunStream
+	// only: materialized callers transform the trace before analysis
+	// (calib.Correct), which is the same computation.
+	Stage EventStage
+	// Progress, when non-nil, receives progress notifications.
+	Progress func(Progress)
+}
+
+// procFilter resolves Options.Procs into a membership test; nil means no
+// restriction.
+func (o Options) procFilter() map[trace.ProcID]bool {
+	if len(o.Procs) == 0 {
+		return nil
+	}
+	set := make(map[trace.ProcID]bool, len(o.Procs))
+	for _, p := range o.Procs {
+		set[p] = true
+	}
+	return set
 }
 
 // Run computes the per-process cross-stack overlap breakdown of a trace by
 // fanning (process, phase) shards over a worker pool. The result is
 // identical to running overlap.Compute per process regardless of worker
-// count.
+// count. Run is RunContext with a background context, which cannot fail.
 func Run(t *trace.Trace, opts Options) map[trace.ProcID]*overlap.Result {
+	out, _ := RunContext(context.Background(), t, opts)
+	return out
+}
+
+// RunContext is Run bound to a context: shard dispatch stops as soon as
+// ctx is cancelled, every worker goroutine is joined, and ctx.Err() is
+// returned (partial results are discarded).
+func RunContext(ctx context.Context, t *trace.Trace, opts Options) (map[trace.ProcID]*overlap.Result, error) {
 	shards := t.Shards()
+	if filter := opts.procFilter(); filter != nil {
+		kept := shards[:0:len(shards)]
+		for _, sh := range shards {
+			if filter[sh.Proc] {
+				kept = append(kept, sh)
+			}
+		}
+		shards = kept
+	}
 	results := make([]*overlap.Result, len(shards))
 	// Each worker owns one pooled Sweeper for the whole run: the sweep
 	// scratch (boundary slices, stacks, interners, the dense accumulator)
 	// is borrowed once, sized by the worker's first shard, reused for all
 	// its later ones, and returned for the next Run to pick up.
 	sweepers := make([]*overlap.Sweeper, ClampWorkers(opts.Workers, len(shards)))
-	ForEachWorker(opts.Workers, len(shards), func(w, i int) error {
+	err := ForEachWorkerContext(ctx, opts.Workers, len(shards), func(w, i int) error {
 		if sweepers[w] == nil {
 			sweepers[w] = overlap.GetSweeper()
 		}
@@ -58,6 +148,9 @@ func Run(t *trace.Trace, opts Options) map[trace.ProcID]*overlap.Result {
 		if sw != nil {
 			overlap.PutSweeper(sw)
 		}
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	// Every process with at least one event has at least one shard (windows
@@ -85,7 +178,10 @@ func Run(t *trace.Trace, opts Options) map[trace.ProcID]*overlap.Result {
 		}
 		mergeShard(out[sh.Proc], results[i])
 	}
-	return out
+	if opts.Progress != nil {
+		opts.Progress(Progress{Stage: StageAnalyze, Shards: len(shards), Events: len(t.Events)})
+	}
+	return out, nil
 }
 
 // mergeShard folds one shard result into the process accumulator. Span is

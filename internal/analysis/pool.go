@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,22 +18,33 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // submitting goroutine, so single-worker streaming is strictly sequential,
 // exactly like ForEach(1, ...).
 //
+// The pool is context-aware: once ctx is cancelled, submitted jobs are
+// accepted but no longer executed, so Wait drains the queue at channel
+// speed instead of sweeping every remaining window. Producers observe the
+// cancellation themselves (ctx.Err()) — the pool's only job is to stop
+// burning CPU and to guarantee that Wait still joins every goroutine, so
+// cancellation never leaks workers.
+//
 // Jobs receive the index of the worker executing them (0 in inline mode),
 // so callers can give each worker private reusable scratch — the streaming
 // engine hands every worker its own overlap.Sweeper.
 type Pool struct {
+	ctx     context.Context
 	workers int
 	jobs    chan func(worker int)
 	wg      sync.WaitGroup
 }
 
-// NewPool starts a pool of workers; workers <= 0 selects DefaultWorkers.
-// Callers must Wait exactly once after the last Submit.
-func NewPool(workers int) *Pool {
+// NewPool starts a pool of workers bound to ctx; workers <= 0 selects
+// DefaultWorkers. Callers must Wait exactly once after the last Submit.
+func NewPool(ctx context.Context, workers int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	p := &Pool{workers: workers}
+	p := &Pool{ctx: ctx, workers: workers}
 	if workers == 1 {
 		return p // inline mode: no goroutines, no channel
 	}
@@ -42,6 +54,9 @@ func NewPool(workers int) *Pool {
 		go func(worker int) {
 			defer p.wg.Done()
 			for fn := range p.jobs {
+				if p.ctx.Err() != nil {
+					continue // cancelled: drain without executing
+				}
 				fn(worker)
 			}
 		}(w)
@@ -54,16 +69,24 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // Submit schedules one job. In inline mode it runs before Submit returns,
-// with worker index 0.
+// with worker index 0. After cancellation the job is dropped; callers
+// notice through their own ctx.Err() check.
 func (p *Pool) Submit(fn func(worker int)) {
 	if p.jobs == nil {
-		fn(0)
+		if p.ctx.Err() == nil {
+			fn(0)
+		}
 		return
 	}
-	p.jobs <- fn
+	select {
+	case p.jobs <- fn:
+	case <-p.ctx.Done():
+	}
 }
 
-// Wait closes the pool and blocks until every submitted job has finished.
+// Wait closes the pool and blocks until every submitted job has finished
+// (or, after cancellation, been drained unexecuted) and every worker
+// goroutine has exited.
 func (p *Pool) Wait() {
 	if p.jobs == nil {
 		return
@@ -94,7 +117,14 @@ func ClampWorkers(workers, n int) int {
 // contract; ForEach is the face used by callers that need no per-worker
 // state.
 func ForEach(workers, n int, fn func(i int) error) error {
-	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+	return ForEachContext(context.Background(), workers, n, fn)
+}
+
+// ForEachContext is ForEach bound to a context: dispatch stops as soon as
+// ctx is cancelled and the cancellation is reported (unless a job error,
+// which takes precedence, already occurred).
+func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorkerContext(ctx, workers, n, func(_, i int) error { return fn(i) })
 }
 
 // ForEachWorker runs fn(w, 0), …, fn(w, n-1) across a pool of workers,
@@ -103,28 +133,42 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // lowest-index error, or nil. The worker index lets callers thread private
 // reusable scratch — the analysis engine gives each worker its own
 // overlap.Sweeper — without any locking.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	return ForEachWorkerContext(context.Background(), workers, n, fn)
+}
+
+// ForEachWorkerContext is ForEachWorker bound to a context.
 //
 // workers <= 0 selects DefaultWorkers; a pool of one runs inline with no
 // goroutines, so single-worker execution is strictly sequential. Dispatch
-// is fail-fast: once any job errors, no further index is dispatched; every
-// dispatched job (at most one of which may still be queued at that point)
-// runs to completion. Dispatched jobs always executing is what keeps the
-// returned error deterministic: indices dispatch in order, so the lowest
-// failing index is always dispatched, always runs, and always wins —
-// skipping queued work instead would let a later, faster failure race it
-// out of the error slot.
-func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+// is fail-fast: once any job errors — or ctx is cancelled — no further
+// index is dispatched; every dispatched job (at most one of which may
+// still be queued at that point) runs to completion, and every worker
+// goroutine is joined before the call returns, so cancellation never leaks
+// goroutines. Dispatched jobs always executing is what keeps the returned
+// error deterministic: indices dispatch in order, so the lowest failing
+// index is always dispatched, always runs, and always wins — skipping
+// queued work instead would let a later, faster failure race it out of the
+// error slot. Job errors take precedence over ctx.Err(); with no job
+// error, a cancelled run returns ctx.Err().
+func ForEachWorkerContext(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = ClampWorkers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	errs := make([]error, n)
 	idx := make(chan int)
@@ -142,8 +186,16 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 			}
 		}(w)
 	}
+dispatch:
 	for i := 0; i < n && !failed.Load(); i++ {
-		idx <- i
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -152,5 +204,5 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -14,8 +15,16 @@ import (
 // it scheduled the work, and the peak number of decoded events it ever held
 // resident — the quantity MaxResidentBytes bounds.
 type StreamStats struct {
-	// Chunks and Events count the chunk files decoded and events routed.
+	// Chunks and Events count the chunk files in the directory and the
+	// events decoded (before any Options.Stage transform drops or rewrites
+	// them). Under an Options.Procs restriction, chunks contributing to no
+	// requested process are skipped entirely and their events never
+	// decoded or counted.
 	Chunks, Events int
+	// ChunksDecoded counts chunk files actually decoded so far — fewer
+	// than Chunks when a Procs restriction skips chunks or a cancellation
+	// cuts the run short.
+	ChunksDecoded int
 	// Shards counts window computations dispatched to the pool, including
 	// partial prefix windows finalized early by the memory budget.
 	Shards int
@@ -45,7 +54,9 @@ type streamShard struct {
 	// watermarks[j] is the minimum event start time across chunks[j:] for
 	// this shard's process: no event from a not-yet-decoded chunk can
 	// begin before watermarks[next], so the prefix [lo, watermarks[next])
-	// is complete and may be finalized early.
+	// is complete and may be finalized early. With an EventStage the
+	// watermarks come from stage-mapped spans, whose conservative bound
+	// preserves exactly this guarantee for the transformed events.
 	watermarks []vclock.Time
 }
 
@@ -60,16 +71,38 @@ type streamShard struct {
 // overlap sweep sum to the whole (see overlap.ComputeWindow).
 //
 // The result is byte-identical to Run(ReadDir(dir)) for every worker count
-// and every memory budget.
+// and every memory budget; with an Options.Stage it is byte-identical to
+// materializing the trace, applying the stage's transform (for the
+// correction stage: calib.Correct), and running Run on the result.
 func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result, StreamStats, error) {
+	return RunStreamContext(context.Background(), r, opts)
+}
+
+// RunStreamContext is RunStream bound to a context: the chunk loop stops at
+// the first cancelled iteration, queued shard computations are drained
+// unexecuted, every worker goroutine is joined, and ctx.Err() is returned.
+// The returned StreamStats always describe the work done so far, so a
+// cancelled run still reports how far it got.
+func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result, StreamStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var stats StreamStats
 	n := r.NumChunks()
 	stats.Chunks = n
+	stage := opts.Stage
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 
 	// Plan from sidecar metadata alone: per-chunk process spans give each
 	// shard its contributing-chunk list and watermarks; sidecar phase
-	// events give each process its window partition.
+	// events give each process its window partition. An EventStage bends
+	// the plan the same way it bends the events: phase events are mapped
+	// before partitioning and spans are mapped (conservatively) before
+	// relevance and watermark derivation.
 	indexes := make([]*trace.ChunkIndex, n)
+	spans := make([]map[trace.ProcID]trace.ProcSpan, n)
 	phaseEvents := map[trace.ProcID][]trace.Event{}
 	procSeen := map[trace.ProcID]bool{}
 	for i := 0; i < n; i++ {
@@ -78,16 +111,29 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 			return nil, stats, err
 		}
 		indexes[i] = ix
+		spans[i] = ix.Procs
+		if stage != nil {
+			spans[i] = make(map[trace.ProcID]trace.ProcSpan, len(ix.Procs))
+			for p, sp := range ix.Procs {
+				spans[i][p] = stage.MapSpan(p, sp)
+			}
+		}
 		for p := range ix.Procs {
 			procSeen[p] = true
 		}
 		for _, pe := range ix.Phases {
+			if stage != nil && !stage.MapEvent(&pe) {
+				continue
+			}
 			phaseEvents[pe.Proc] = append(phaseEvents[pe.Proc], pe)
 		}
 	}
+	filter := opts.procFilter()
 	procs := make([]trace.ProcID, 0, len(procSeen))
 	for p := range procSeen {
-		procs = append(procs, p)
+		if filter == nil || filter[p] {
+			procs = append(procs, p)
+		}
 	}
 	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
 
@@ -111,8 +157,8 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 		}
 	}
 	chunkShards := make([][]*streamShard, n)
-	for i, ix := range indexes {
-		for p, span := range ix.Procs {
+	for i := range indexes {
+		for p, span := range spans[i] {
 			for _, sh := range shardsByProc[p] {
 				// Conservative relevance: every event of p in this chunk
 				// has start >= span.MinStart and end <= span.MaxEnd, so
@@ -128,7 +174,7 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 		sh.watermarks = make([]vclock.Time, len(sh.chunks))
 		min := vclock.MaxTime
 		for j := len(sh.chunks) - 1; j >= 0; j-- {
-			if ms := indexes[sh.chunks[j]].Procs[sh.proc].MinStart; ms < min {
+			if ms := spans[sh.chunks[j]][sh.proc].MinStart; ms < min {
 				min = ms
 			}
 			sh.watermarks[j] = min
@@ -139,7 +185,7 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 	// concurrent completion order cannot leak into results.
 	var mu sync.Mutex
 	var inflightBytes, inflightEvents atomic.Int64
-	pool := NewPool(opts.Workers)
+	pool := NewPool(ctx, opts.Workers)
 	// One pooled Sweeper per pool worker (index 0 doubles as the inline
 	// worker): sweep scratch is recycled across every window the worker
 	// computes, and no locking is needed because a worker index is owned by
@@ -243,21 +289,56 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 		}
 	}
 
+	// routed tracks which processes received at least one event after the
+	// stage's transform. A stage can drop every event of a process (the
+	// correction stage erases processes that recorded nothing but overhead
+	// markers); the materialized transform-then-Run path has no entry for
+	// such a process, so the streaming path must shed its pre-planned one.
+	var routed map[trace.ProcID]bool
+	if stage != nil {
+		routed = map[trace.ProcID]bool{}
+	}
+
+	bail := func(err error) (map[trace.ProcID]*overlap.Result, StreamStats, error) {
+		pool.Wait()
+		returnSweepers()
+		return nil, stats, err
+	}
 	var buf []trace.Event
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return bail(err)
+		}
+		if len(chunkShards[i]) == 0 {
+			continue // contributes to no requested (process, window) shard
+		}
 		var err error
 		buf, err = r.ReadChunk(i, buf[:0])
 		if err != nil {
-			pool.Wait()
-			returnSweepers()
-			return nil, stats, err
+			return bail(err)
 		}
+		stats.ChunksDecoded++
 		stats.Events += len(buf)
+		if stage != nil {
+			// Transform in place and compact the dropped events away:
+			// MapEvent takes addresses into the decode buffer's backing
+			// array, so the stage costs no per-event allocation.
+			kept := buf[:0]
+			for j := range buf {
+				if stage.MapEvent(&buf[j]) {
+					kept = append(kept, buf[j])
+				}
+			}
+			buf = kept
+		}
 		var chunkBytes int64
 		for _, e := range buf {
 			chunkBytes += int64(trace.EventBytes(e))
 			for _, sh := range shardsByProc[e.Proc] {
 				if trace.OverlapsWindow(e, sh.lo, sh.hi) {
+					if routed != nil {
+						routed[e.Proc] = true
+					}
 					sh.events = append(sh.events, e)
 					sh.bytes += int64(trace.EventBytes(e))
 					bufferedBytes += int64(trace.EventBytes(e))
@@ -280,8 +361,27 @@ func RunStream(r *trace.Reader, opts Options) (map[trace.ProcID]*overlap.Result,
 			evict(opts.MaxResidentBytes)
 		}
 		sample(0, 0)
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Stage: StageAnalyze, ChunksDone: i + 1, Chunks: n,
+				Shards: stats.Shards, Events: stats.Events,
+			})
+		}
 	}
 	pool.Wait()
 	returnSweepers()
+	// A cancellation that lands after the chunk loop can still have made
+	// the pool drop queued shard computations; results would be silently
+	// incomplete, so a cancelled run always reports its context error.
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	if routed != nil {
+		for _, p := range procs {
+			if !routed[p] {
+				delete(out, p)
+			}
+		}
+	}
 	return out, stats, nil
 }

@@ -1,6 +1,7 @@
 package calib
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/trace"
@@ -29,27 +30,168 @@ import (
 // event starting marginally before its predecessor ends). This residual is
 // inherent to mean-based correction; downstream overlap analysis tolerates
 // it.
+//
+// Correct materializes the corrected trace. Streaming analyses instead plug
+// a Corrector — the same per-event math — into the engine as an
+// analysis.EventStage, correcting each event in flight under the engine's
+// memory budget; the two paths produce byte-identical breakdowns.
 func Correct(t *trace.Trace, cal *Calibration) *trace.Trace {
+	c := NewCorrector(t, cal)
 	out := &trace.Trace{Meta: t.Meta}
 	out.Meta.Config = trace.Uninstrumented() // the corrected trace estimates the uninstrumented run
 	for _, p := range t.ProcIDs() {
-		events := t.ProcEvents(p)
-		shift := buildShift(events, cal)
-		for _, e := range events {
-			if e.Kind == trace.KindOverhead {
-				continue
-			}
+		for _, e := range t.ProcEvents(p) {
 			ne := e
-			ne.Start = e.Start.Add(-shift.before(e.Start))
-			ne.End = e.End.Add(-shift.before(e.End))
-			if ne.End < ne.Start {
-				ne.End = ne.Start
+			if !c.MapEvent(&ne) {
+				continue
 			}
 			out.Events = append(out.Events, ne)
 		}
 	}
 	out.Sort()
 	return out
+}
+
+// Corrector is the factored-out per-event correction stage: per-process
+// shift indexes frozen at construction, applied to one event at a time.
+// It implements analysis.EventStage, which is what lets the streaming
+// engine produce corrected breakdowns in bounded memory — the index holds
+// one (time, cost) pair per calibrated overhead marker, never the events
+// themselves.
+//
+// A Corrector is immutable after construction and safe for concurrent use.
+type Corrector struct {
+	shifts map[trace.ProcID]shiftIndex
+}
+
+// NewCorrector builds the correction stage from a materialized trace.
+// Correct is exactly NewCorrector + MapEvent over every event + Sort.
+func NewCorrector(t *trace.Trace, cal *Calibration) *Corrector {
+	c := &Corrector{shifts: map[trace.ProcID]shiftIndex{}}
+	for _, p := range t.ProcIDs() {
+		c.shifts[p] = buildShift(t.ProcEvents(p), cal)
+	}
+	return c
+}
+
+// NewStreamCorrector builds the correction stage from chunked storage with
+// one bounded-memory pre-pass: every relevant chunk is decoded once into a
+// reusable buffer and only the overhead markers' (time, calibrated cost)
+// pairs are retained. A non-empty procs list restricts the pre-pass the
+// same way Options.Procs restricts the analysis: markers of other
+// processes are never consulted by MapEvent/MapSpan for surviving events,
+// so chunks whose sidecar lists none of the requested processes are
+// skipped without decoding. onChunk, when non-nil, is invoked after each
+// chunk — skipped or decoded — with the cumulative decoded-event count;
+// ctx cancels the pre-pass between chunks.
+func NewStreamCorrector(ctx context.Context, r *trace.Reader, cal *Calibration, procs []trace.ProcID, onChunk func(done, total, events int)) (*Corrector, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var filter map[trace.ProcID]bool
+	if len(procs) > 0 {
+		filter = make(map[trace.ProcID]bool, len(procs))
+		for _, p := range procs {
+			filter[p] = true
+		}
+	}
+	byProc := map[trace.ProcID][]marker{}
+	var buf []trace.Event
+	n := r.NumChunks()
+	events := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if filter != nil {
+			ix, err := r.Index(i)
+			if err != nil {
+				return nil, err
+			}
+			relevant := false
+			for p := range ix.Procs {
+				if filter[p] {
+					relevant = true
+					break
+				}
+			}
+			if !relevant {
+				if onChunk != nil {
+					onChunk(i+1, n, events)
+				}
+				continue
+			}
+		}
+		var err error
+		buf, err = r.ReadChunk(i, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		events += len(buf)
+		for _, e := range buf {
+			if e.Kind != trace.KindOverhead || (filter != nil && !filter[e.Proc]) {
+				continue
+			}
+			if d := cal.MeanFor(e.Overhead, e.Name); d > 0 {
+				byProc[e.Proc] = append(byProc[e.Proc], marker{e.Start, d})
+			}
+		}
+		if onChunk != nil {
+			onChunk(i+1, n, events)
+		}
+	}
+	c := &Corrector{shifts: make(map[trace.ProcID]shiftIndex, len(byProc))}
+	for p, ms := range byProc {
+		c.shifts[p] = buildShiftFromMarkers(ms)
+	}
+	return c, nil
+}
+
+// MapEvent applies the correction to one event in place: overhead markers
+// are dropped (false), every other event's timestamps shift left by the
+// cumulative calibrated overhead that preceded them. The math is identical
+// to Correct's, including the end-before-start clamp.
+func (c *Corrector) MapEvent(e *trace.Event) bool {
+	if e.Kind == trace.KindOverhead {
+		return false
+	}
+	ix, ok := c.shifts[e.Proc]
+	if !ok || len(ix.times) == 0 {
+		return true
+	}
+	e.Start = e.Start.Add(-ix.before(e.Start))
+	e.End = e.End.Add(-ix.before(e.End))
+	if e.End < e.Start {
+		e.End = e.Start
+	}
+	return true
+}
+
+// MapSpan conservatively corrects a chunk sidecar's per-process span. Every
+// event the span summarizes has Start, End ∈ [MinStart, MaxEnd], and the
+// shift function before(t) is nondecreasing, so shifting MinStart by the
+// largest shift any such event can receive (before(MaxEnd)) and MaxEnd by
+// the smallest (before(MinStart)) bounds every corrected extent. The
+// streaming planner derives chunk relevance and eviction watermarks from
+// these bounds, which is what keeps budgeted corrected streaming exact:
+// watermarks may only underestimate future corrected start times, never
+// overestimate them.
+func (c *Corrector) MapSpan(p trace.ProcID, sp trace.ProcSpan) trace.ProcSpan {
+	ix, ok := c.shifts[p]
+	if !ok || len(ix.times) == 0 {
+		return sp
+	}
+	minShift := ix.before(sp.MinStart)
+	maxShift := ix.before(sp.MaxEnd)
+	sp.MinStart = sp.MinStart.Add(-maxShift)
+	sp.MaxEnd = sp.MaxEnd.Add(-minShift)
+	return sp
+}
+
+// marker is one overhead occurrence: its instant and calibrated mean cost.
+type marker struct {
+	t vclock.Time
+	d vclock.Duration
 }
 
 // shiftIndex answers "how much estimated overhead occurred strictly before
@@ -60,10 +202,6 @@ type shiftIndex struct {
 }
 
 func buildShift(events []trace.Event, cal *Calibration) shiftIndex {
-	type marker struct {
-		t vclock.Time
-		d vclock.Duration
-	}
 	var ms []marker
 	for _, e := range events {
 		if e.Kind != trace.KindOverhead {
@@ -73,6 +211,14 @@ func buildShift(events []trace.Event, cal *Calibration) shiftIndex {
 			ms = append(ms, marker{e.Start, d})
 		}
 	}
+	return buildShiftFromMarkers(ms)
+}
+
+// buildShiftFromMarkers sorts the markers by time and folds them into a
+// prefix-sum index. Equal-time markers may land in either order without
+// affecting any before(t) query, so collection order (materialized proc
+// order vs streaming chunk order) cannot leak into corrected timestamps.
+func buildShiftFromMarkers(ms []marker) shiftIndex {
 	sort.Slice(ms, func(i, j int) bool { return ms[i].t < ms[j].t })
 	ix := shiftIndex{
 		times:  make([]vclock.Time, len(ms)),

@@ -35,7 +35,7 @@ type Figure9Result struct {
 // concurrently.
 func Figure9(opts Options) (*Figure9Result, error) {
 	run := workloads.Runner(calibSpec(opts))
-	base, hooked, err := runPair(
+	base, hooked, err := runPair(opts.ctx(),
 		func() (*calib.RunStats, error) { return run(trace.Uninstrumented(), opts.Seed+11) },
 		func() (*calib.RunStats, error) { return run(trace.FeatureFlags{CUDAIntercept: true}, opts.Seed+11) },
 	)
@@ -87,7 +87,7 @@ type Figure10Result struct {
 // without CUPTI enabled.
 func Figure10(opts Options) (*Figure10Result, error) {
 	run := workloads.Runner(calibSpec(opts))
-	without, with, err := runPair(
+	without, with, err := runPair(opts.ctx(),
 		func() (*calib.RunStats, error) { return run(trace.FeatureFlags{CUDAIntercept: true}, opts.Seed+13) },
 		func() (*calib.RunStats, error) {
 			return run(trace.FeatureFlags{CUDAIntercept: true, CUPTI: true}, opts.Seed+13)
@@ -166,7 +166,7 @@ func Figure11(opts Options) (*Figure11Result, error) {
 		return calib.Validate(fmt.Sprintf("(%s, %s)", algo, env),
 			workloads.Runner(spec), opts.Seed+17, opts.Seed+1017)
 	}
-	err := forEach(len(algos)+len(envs), func(i int) error {
+	err := forEach(opts.ctx(), len(algos)+len(envs), func(i int) error {
 		if i < len(algos) {
 			v, err := validate(algos[i], "Walker2D")
 			if err != nil {
@@ -239,7 +239,7 @@ func AppendixC4(opts Options) (*C4Result, error) {
 	}
 	// The uninstrumented and fully instrumented validation replays are
 	// independent and run concurrently.
-	base, full, err := runPair(
+	base, full, err := runPair(opts.ctx(),
 		func() (*calib.RunStats, error) { return runner(trace.Uninstrumented(), opts.Seed+1023) },
 		func() (*calib.RunStats, error) { return runner(trace.Full(), opts.Seed+1023) },
 	)

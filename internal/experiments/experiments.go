@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,6 +31,10 @@ type Options struct {
 	Steps int
 	// Seed drives all randomness.
 	Seed int64
+	// Context, when non-nil, cancels long experiment pipelines between
+	// replay/analysis jobs — the CLI passes a SIGINT-driven context so
+	// Ctrl-C interrupts a sweep cleanly. nil means context.Background().
+	Context context.Context
 }
 
 func (o Options) steps(def int) int {
@@ -37,6 +42,13 @@ func (o Options) steps(def int) int {
 		return o.Steps
 	}
 	return def
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // runUninstrumented executes a workload spec and returns its overlap
@@ -62,18 +74,19 @@ func analyzeMain(tr *trace.Trace) *overlap.Result {
 }
 
 // forEach fans n independent experiment jobs (workload replays, validation
-// runs) out over the analysis engine's pool scheduler. Each call spins up
-// its own pool sized to the machine; pools are not shared across calls.
-func forEach(n int, fn func(i int) error) error {
-	return analysis.ForEach(0, n, fn)
+// runs) out over the analysis engine's pool scheduler, stopping dispatch
+// when ctx is cancelled. Each call spins up its own pool sized to the
+// machine; pools are not shared across calls.
+func forEach(ctx context.Context, n int, fn func(i int) error) error {
+	return analysis.ForEachContext(ctx, 0, n, fn)
 }
 
 // runPair executes two independent workload replays concurrently — the
 // calibration illustrations all compare a pair of runs under different
 // feature flags.
-func runPair(a, b func() (*calib.RunStats, error)) (*calib.RunStats, *calib.RunStats, error) {
+func runPair(ctx context.Context, a, b func() (*calib.RunStats, error)) (*calib.RunStats, *calib.RunStats, error) {
 	var ra, rb *calib.RunStats
-	err := forEach(2, func(i int) error {
+	err := forEach(ctx, 2, func(i int) error {
 		var err error
 		if i == 0 {
 			ra, err = a()

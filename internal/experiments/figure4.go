@@ -61,7 +61,7 @@ func Figure4(opts Options) (*Figure4Result, error) {
 	for i, m := range ddpgModels {
 		jobs = append(jobs, job{"4b", "DDPG", m, &out.DDPG[i]})
 	}
-	err := forEach(len(jobs), func(i int) error {
+	err := forEach(opts.ctx(), len(jobs), func(i int) error {
 		j := jobs[i]
 		res, stats, err := runUninstrumented(workloads.Spec{
 			Algo: j.algo, Env: "Walker2D", Model: j.model,
@@ -135,7 +135,7 @@ var figure5Algos = []struct {
 func Figure5(opts Options) (*Figure5Result, error) {
 	steps := opts.steps(2000)
 	out := &Figure5Result{Entries: make([]Figure4Entry, len(figure5Algos))}
-	err := forEach(len(figure5Algos), func(i int) error {
+	err := forEach(opts.ctx(), len(figure5Algos), func(i int) error {
 		a := figure5Algos[i]
 		res, stats, err := runUninstrumented(workloads.Spec{
 			Algo: a.Name, Env: "Walker2D", Model: backend.Graph,

@@ -46,7 +46,7 @@ type Figure7Result struct {
 func Figure7(opts Options) (*Figure7Result, error) {
 	steps := opts.steps(1024)
 	out := &Figure7Result{Entries: make([]Figure7Entry, len(sim.SurveyNames))}
-	err := forEach(len(sim.SurveyNames), func(i int) error {
+	err := forEach(opts.ctx(), len(sim.SurveyNames), func(i int) error {
 		env := sim.SurveyNames[i]
 		envSteps := steps
 		if env == "AirLearning" {

@@ -38,7 +38,7 @@ func Figure8Scaling(opts Options) (*ScalingResult, error) {
 	out := &ScalingResult{Points: make([]ScalingPoint, len(poolSizes))}
 	// Each pool size is an independent Minigo pipeline run; the sweep's
 	// configurations replay concurrently on the analysis pool.
-	err := forEach(len(poolSizes), func(i int) error {
+	err := forEach(opts.ctx(), len(poolSizes), func(i int) error {
 		workers := poolSizes[i]
 		cfg := minigo.DefaultConfig()
 		cfg.Seed = opts.Seed + 6

@@ -72,13 +72,16 @@ func StreamReplay(opts Options) (*StreamReplayResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: stream replay: %w", err)
 	}
-	streamed, stats, err := analysis.RunStream(r, analysis.Options{
+	streamed, stats, err := analysis.RunStreamContext(opts.ctx(), r, analysis.Options{
 		Workers: 0, MaxResidentBytes: budget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: stream replay: %w", err)
 	}
-	want := analysis.Run(tr, analysis.Options{Workers: 0})
+	want, err := analysis.RunContext(opts.ctx(), tr, analysis.Options{Workers: 0})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stream replay: %w", err)
+	}
 
 	return &StreamReplayResult{
 		Events:            len(tr.Events),

@@ -1,0 +1,56 @@
+package trace
+
+// Source is one run's worth of events offered to an analysis engine. The
+// three standard sources — FromTrace, FromReader, FromDir — cover the
+// materialized and streaming ingestion paths; custom implementations can
+// resolve events from anywhere (a remote fetch, a synthetic generator) as
+// long as Open lands on one of the two shapes.
+type Source interface {
+	// Open resolves the source for one analysis pass. Exactly one of the
+	// returned trace and reader is non-nil: a trace means the events are
+	// already materialized in memory, a reader means they stream from
+	// chunked storage. Open may be called more than once per analysis — a
+	// corrected streaming run makes a correction pre-pass and an analysis
+	// pass — and every call must resolve to the same events.
+	Open() (*Trace, *Reader, error)
+}
+
+// traceSource offers an in-memory trace.
+type traceSource struct{ t *Trace }
+
+func (s traceSource) Open() (*Trace, *Reader, error) { return s.t, nil, nil }
+
+// FromTrace returns a Source over an already-materialized trace.
+func FromTrace(t *Trace) Source { return traceSource{t} }
+
+// readerSource offers a chunked trace directory through an open Reader.
+type readerSource struct{ r *Reader }
+
+func (s readerSource) Open() (*Trace, *Reader, error) { return nil, s.r, nil }
+
+// FromReader returns a streaming Source over an open chunked-trace reader.
+// Reader methods are not safe for concurrent use, so neither is analyzing
+// the same FromReader source from multiple goroutines at once.
+func FromReader(r *Reader) Source { return readerSource{r} }
+
+// dirSource opens a chunked trace directory lazily on first use.
+type dirSource struct {
+	dir string
+	r   *Reader // cached so repeated Opens resolve to one Reader
+}
+
+func (s *dirSource) Open() (*Trace, *Reader, error) {
+	if s.r == nil {
+		r, err := OpenDir(s.dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.r = r
+	}
+	return nil, s.r, nil
+}
+
+// FromDir returns a streaming Source over a chunked trace directory written
+// by Writer (Profiler.WriteTo or rlscope-prof). The directory is opened on
+// first use; open errors surface from the analysis that triggers them.
+func FromDir(dir string) Source { return &dirSource{dir: dir} }

@@ -1,3 +1,4 @@
+//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy wrappers (they must stay byte-identical to the Engine)
 package rlscope
 
 import (

@@ -22,22 +22,38 @@
 //
 // # Analysis
 //
-// Analyze computes the cross-stack event overlap per process — the
-// paper's §3.3 algorithm — attributing every interval of the critical path
-// to (operation, {CPU, GPU, CPU+GPU}, stack tier):
+// Engine is the single analysis entry point: a cancellable, composable
+// query over any trace Source, computing the cross-stack event overlap per
+// process — the paper's §3.3 algorithm — attributing every interval of the
+// critical path to (operation, {CPU, GPU, CPU+GPU}, stack tier):
 //
-//	results := rlscope.Analyze(tr)
+//	eng := rlscope.NewEngine(rlscope.WithWorkers(4))
+//	report, err := eng.Analyze(ctx, rlscope.FromTrace(tr))
+//	// report.Results[proc] is the per-process breakdown
+//
+// Sources decouple what is analyzed from how it is stored: FromTrace wraps
+// an in-memory trace, while FromDir and FromReader stream a chunked trace
+// directory without materializing it, keeping residency under
+// WithMaxResidentBytes. Results are byte-identical across sources, worker
+// counts, and memory budgets.
 //
 // # Overhead calibration and correction
 //
 // Calibrate measures the profiler's own book-keeping costs by re-running a
 // workload under feature subsets (delta calibration plus
 // difference-of-average calibration for per-CUDA-API CUPTI inflation), and
-// Correct subtracts them from a trace at the points where they occurred
-// (§3.4, Appendix C):
+// correction subtracts them from a trace at the points where they occurred
+// (§3.4, Appendix C). Composed into the Engine, correction runs as a
+// streaming stage — corrected breakdowns under a memory budget, without
+// ever materializing the corrected trace:
 //
 //	cal, err := rlscope.Calibrate(runner, seed)
-//	corrected := rlscope.Correct(tr, cal)
+//	eng := rlscope.NewEngine(rlscope.WithCorrection(cal), rlscope.WithMaxResidentBytes(1<<20))
+//	report, err := eng.Analyze(ctx, rlscope.FromDir(traceDir))
+//
+// The free functions Analyze, AnalyzeParallel, AnalyzeProcess, AnalyzeDir,
+// and AnalyzeDirStats predate the Engine; they remain as thin wrappers over
+// it and are documented deprecated.
 //
 // The examples/ directory contains runnable programs; cmd/ contains the
 // rls-prof-style CLI tools; DESIGN.md maps every paper experiment to the
@@ -45,6 +61,9 @@
 package rlscope
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/calib"
 	"repro/internal/overlap"
@@ -78,6 +97,9 @@ type (
 	FeatureFlags = trace.FeatureFlags
 	// ProcID identifies a simulated process.
 	ProcID = trace.ProcID
+	// OverheadKind classifies profiler book-keeping markers; each kind is
+	// calibrated separately (paper Appendix C.1/C.2).
+	OverheadKind = trace.OverheadKind
 )
 
 // Analysis types.
@@ -116,40 +138,74 @@ func Uninstrumented() FeatureFlags { return trace.Uninstrumented() }
 // DefaultOverheads returns the standard book-keeping cost model.
 func DefaultOverheads() OverheadModel { return profiler.DefaultOverheads() }
 
-// AnalysisOptions configures the sharded analysis engine behind
-// AnalyzeParallel and AnalyzeDir.
+// AnalysisOptions configures the sharded analysis engine behind the
+// deprecated AnalyzeParallel and AnalyzeDir wrappers. New code configures
+// an Engine with functional options instead.
 type AnalysisOptions = analysis.Options
 
 // StreamStats reports what a streaming analysis read, scheduled, and kept
-// resident (see AnalyzeDirStats).
+// resident (see Report.Stats).
 type StreamStats = analysis.StreamStats
 
+// engineFor translates legacy AnalysisOptions into an Engine, so every
+// deprecated entry point funnels through the one analysis implementation.
+func engineFor(opts AnalysisOptions) *Engine {
+	return NewEngine(
+		WithWorkers(opts.Workers),
+		WithMaxResidentBytes(opts.MaxResidentBytes),
+		WithProcesses(opts.Procs...),
+		WithProgress(opts.Progress),
+	)
+}
+
+// mustResults runs an Engine analysis that cannot fail — a materialized
+// source under a background context has no error paths — and unwraps it.
+func mustResults(e *Engine, src Source) map[ProcID]*Result {
+	rep, err := e.Analyze(context.Background(), src)
+	if err != nil {
+		panic(fmt.Sprintf("rlscope: materialized analysis failed: %v", err))
+	}
+	return rep.Results
+}
+
 // Analyze runs the cross-stack overlap computation for every process in
-// the trace (paper §3.3). It delegates to AnalyzeParallel with a single
-// worker, which executes inline with no goroutines.
+// the trace (paper §3.3), strictly sequentially.
+//
+// Deprecated: use NewEngine(WithWorkers(1)).Analyze(ctx, FromTrace(t)),
+// which this wraps.
 func Analyze(t *Trace) map[ProcID]*Result {
-	return AnalyzeParallel(t, AnalysisOptions{Workers: 1})
+	return mustResults(NewEngine(WithWorkers(1)), FromTrace(t))
 }
 
 // AnalyzeParallel runs the overlap computation by fanning per-(process,
 // phase) shards of the trace over a worker pool. Results are byte-identical
 // to Analyze for every worker count; Workers <= 0 uses one worker per CPU.
+//
+// Deprecated: use NewEngine(WithWorkers(n)).Analyze(ctx, FromTrace(t)),
+// which this wraps.
 func AnalyzeParallel(t *Trace, opts AnalysisOptions) map[ProcID]*Result {
-	return analysis.Run(t, opts)
+	return mustResults(engineFor(opts), FromTrace(t))
 }
 
-// AnalyzeProcess runs the overlap computation for one process.
-func AnalyzeProcess(t *Trace, p ProcID) *Result { return overlap.Compute(t.ProcEvents(p)) }
+// AnalyzeProcess runs the overlap computation for one process, returning an
+// empty breakdown for a process absent from the trace.
+//
+// Deprecated: use NewEngine(WithProcesses(p)).Analyze(ctx, FromTrace(t)),
+// which this wraps.
+func AnalyzeProcess(t *Trace, p ProcID) *Result {
+	if res := mustResults(NewEngine(WithWorkers(1), WithProcesses(p)), FromTrace(t))[p]; res != nil {
+		return res
+	}
+	return overlap.Compute(nil) // empty breakdown: the process has no events
+}
 
 // AnalyzeDir streams a chunked trace directory (written by Profiler.WriteTo
 // or rlscope-prof) through the sharded analysis engine without materializing
-// the whole trace: chunks are decoded lazily into a reusable buffer and each
-// (process, phase) shard is analyzed as soon as its last contributing chunk
-// has been read, with open intervals carried across chunk boundaries. With
-// AnalysisOptions.MaxResidentBytes set, complete window prefixes are
-// finalized early to keep decoded events under the budget. The result is
-// byte-identical to AnalyzeParallel(trace.ReadDir(dir)) for every worker
-// count and every budget.
+// the whole trace. The result is byte-identical to
+// AnalyzeParallel(trace.ReadDir(dir)) for every worker count and budget.
+//
+// Deprecated: use NewEngine(...).Analyze(ctx, FromDir(dir)), which this
+// wraps.
 func AnalyzeDir(dir string, opts AnalysisOptions) (map[ProcID]*Result, error) {
 	results, _, err := AnalyzeDirStats(dir, opts)
 	return results, err
@@ -157,12 +213,18 @@ func AnalyzeDir(dir string, opts AnalysisOptions) (map[ProcID]*Result, error) {
 
 // AnalyzeDirStats is AnalyzeDir, additionally reporting streaming statistics
 // (chunks decoded, shards dispatched, peak resident events/bytes).
+//
+// Deprecated: use NewEngine(...).Analyze(ctx, FromDir(dir)) and read
+// Report.Stats, which this wraps.
 func AnalyzeDirStats(dir string, opts AnalysisOptions) (map[ProcID]*Result, StreamStats, error) {
-	r, err := trace.OpenDir(dir)
+	rep, err := engineFor(opts).Analyze(context.Background(), FromDir(dir))
 	if err != nil {
+		if rep != nil {
+			return nil, rep.Stats, err
+		}
 		return nil, StreamStats{}, err
 	}
-	return analysis.RunStream(r, opts)
+	return rep.Results, rep.Stats, nil
 }
 
 // Calibrate measures the mean cost of each profiler book-keeping path by
@@ -170,7 +232,9 @@ func AnalyzeDirStats(dir string, opts AnalysisOptions) (map[ProcID]*Result, Stre
 func Calibrate(run Runner, seed int64) (*Calibration, error) { return calib.Calibrate(run, seed) }
 
 // Correct subtracts calibrated overhead from a trace at the precise points
-// where book-keeping occurred (paper §3.4).
+// where book-keeping occurred (paper §3.4), materializing the corrected
+// trace. To analyze corrected results without materializing them, configure
+// an Engine with WithCorrection instead.
 func Correct(t *Trace, cal *Calibration) *Trace { return calib.Correct(t, cal) }
 
 // Validate measures correction accuracy for a workload: calibrate, run
@@ -179,7 +243,9 @@ func Validate(workload string, run Runner, calibSeed, validateSeed int64) (*Vali
 	return calib.Validate(workload, run, calibSeed, validateSeed)
 }
 
-// StatsFromTrace derives calibration inputs from a collected trace.
-func StatsFromTrace(t *Trace, flags FeatureFlags, counts map[trace.OverheadKind]int, total Duration) *RunStats {
+// StatsFromTrace derives calibration inputs from a collected trace: the
+// feature flags the run used, the profiler's per-OverheadKind occurrence
+// counters, and the run's total training time.
+func StatsFromTrace(t *Trace, flags FeatureFlags, counts map[OverheadKind]int, total Duration) *RunStats {
 	return calib.StatsFromTrace(t, flags, counts, total)
 }
