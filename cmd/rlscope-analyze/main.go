@@ -14,9 +14,14 @@
 // drained, and a streaming run reports the partial streaming statistics it
 // accumulated instead of dying mid-write.
 //
+// -json swaps the text tables for the stable JSON document of
+// internal/report — the same document rlscope-serve answers POST /analyze
+// with (byte-identical at -workers 1, where the scheduling-stats block is
+// deterministic too), so CLI and service outputs are interchangeable.
+//
 // Usage:
 //
-//	rlscope-analyze -trace /tmp/trace [-workers N] [-max-resident BYTES] [-materialize]
+//	rlscope-analyze -trace /tmp/trace [-workers N] [-max-resident BYTES] [-materialize] [-json]
 package main
 
 import (
@@ -45,10 +50,25 @@ func main() {
 		workers     = flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU)")
 		maxResident = flag.Int64("max-resident", 0, "streaming memory budget in bytes (0 = unbounded)")
 		materialize = flag.Bool("materialize", false, "force load-then-analyze instead of streaming")
+		jsonOut     = flag.Bool("json", false, "emit the analysis as the stable JSON document rlscope-serve serves")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "rlscope-analyze: -trace is required")
+		os.Exit(2)
+	}
+	// The report modes below force materialization, which loads the whole
+	// trace regardless of any streaming budget. A -max-resident that can't
+	// be honored is a conflict, not a preference — reject it instead of
+	// silently analyzing at full residency.
+	if *maxResident > 0 && (*materialize || *summary || *timeline || *tree || *phases) {
+		fmt.Fprintln(os.Stderr, "rlscope-analyze: -max-resident conflicts with -materialize/-summary/-timeline/-tree/-phases: those modes materialize the whole trace, so the budget cannot be honored; drop -max-resident or the materializing flag")
+		os.Exit(2)
+	}
+	// -json emits the one canonical document; the human report modes write
+	// interleaved text, so combining them would corrupt both outputs.
+	if *jsonOut && (*csv || *summary || *timeline || *tree || *phases) {
+		fmt.Fprintln(os.Stderr, "rlscope-analyze: -json cannot be combined with -csv/-summary/-timeline/-tree/-phases")
 		os.Exit(2)
 	}
 
@@ -100,6 +120,17 @@ func main() {
 	}
 	meta := rep.Meta
 	results := rep.Results
+	if *jsonOut {
+		// The same document rlscope-serve answers POST /analyze with:
+		// same construction, same encoder, byte-identical output for the
+		// same trace and options.
+		doc := report.NewAnalysis(meta, results, rep.Stats, rep.Corrected)
+		if err := doc.Encode(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !needTrace {
 		fmt.Fprintf(os.Stderr, "rlscope-analyze: streamed %d chunks, peak resident %d events\n",
 			rep.Stats.Chunks, rep.Stats.PeakResidentEvents)

@@ -1,0 +1,133 @@
+// Command rlscope-serve exposes RL-Scope's offline analysis as a long-
+// running HTTP/JSON service over a repository of trace directories — the
+// path from one-shot CLI analysis to shared, multi-user infrastructure.
+//
+// Traces are registered at startup (-trace, repeatable); each is addressed
+// by a content digest of its chunk files, sidecar indexes, and metadata.
+// Analysis reports are cached in a bounded LRU keyed by (digest,
+// canonicalized options), concurrent identical requests are deduplicated
+// into a single Engine run, and a global worker budget (-max-workers)
+// bounds the service's total analysis parallelism. Client disconnects
+// cancel analyses nobody is waiting for; SIGINT/SIGTERM drains in-flight
+// requests before exiting.
+//
+// Endpoints:
+//
+//	GET  /healthz                      service, cache, and budget health
+//	GET  /v1/traces                    registered traces (id, digest, size)
+//	GET  /v1/traces/{id}/summary       sidecar summary: processes, extents, fork tree
+//	POST /v1/traces/{id}/analyze       run (or serve from cache) an analysis;
+//	                                   body: {"workers":N, "max_resident_bytes":N,
+//	                                          "correction":true, "procs":[...]}
+//
+// The analyze response body is the stable report.Analysis document
+// `rlscope-analyze -json` prints: result fields are byte-identical for
+// the same trace and options at any worker count, and at workers:1 the
+// whole body is (the scheduling-stats block varies with worker
+// interleaving above that).
+//
+// Usage:
+//
+//	rlscope-serve -listen :8080 -trace quickstart=/tmp/trace [-trace NAME=DIR ...] \
+//	    [-cache-bytes N] [-max-workers N] [-calibration cal.json] [-drain-timeout 10s]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "address to serve on")
+		cacheBytes = flag.Int64("cache-bytes", serve.DefaultCacheBytes, "report cache budget in bytes")
+		maxWorkers = flag.Int("max-workers", 0, "global Engine worker budget shared across requests (0 = one per CPU)")
+		calPath    = flag.String("calibration", "", "calibration JSON enabling {\"correction\":true} requests")
+		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
+	)
+	var traceArgs []string
+	flag.Func("trace", "trace directory to register, as DIR or NAME=DIR (repeatable)", func(v string) error {
+		traceArgs = append(traceArgs, v)
+		return nil
+	})
+	flag.Parse()
+	traceArgs = append(traceArgs, flag.Args()...)
+	if len(traceArgs) == 0 {
+		fmt.Fprintln(os.Stderr, "rlscope-serve: at least one -trace DIR (or NAME=DIR) is required")
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{CacheBytes: *cacheBytes, MaxWorkers: *maxWorkers}
+	if *calPath != "" {
+		data, err := os.ReadFile(*calPath)
+		if err != nil {
+			fatal(err)
+		}
+		cal := &calib.Calibration{}
+		if err := json.Unmarshal(data, cal); err != nil {
+			fatal(fmt.Errorf("decoding calibration %s: %w", *calPath, err))
+		}
+		cfg.Calibration = cal
+	}
+
+	srv := serve.NewServer(cfg)
+	defer srv.Close()
+	for _, arg := range traceArgs {
+		id, dir, ok := strings.Cut(arg, "=")
+		if !ok {
+			dir = arg
+			id = filepath.Base(filepath.Clean(dir))
+		}
+		info, err := srv.AddDir(id, dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rlscope-serve: registered %q (%s): %d chunks, %d events, %d procs, digest %.12s…\n",
+			info.ID, dir, info.Chunks, info.Events, info.Procs, info.Digest)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rlscope-serve: listening on %s\n", *listen)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fatal(err) // the listener died on its own
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful shutdown: stop accepting, let in-flight requests (and the
+	// Engine runs they wait on) finish within the drain window, then abort
+	// whatever is left by cancelling the server's base context.
+	fmt.Fprintln(os.Stderr, "rlscope-serve: draining in-flight requests")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := httpSrv.Shutdown(shCtx)
+	srv.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlscope-serve: drain window expired, aborted in-flight analyses: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "rlscope-serve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlscope-serve:", err)
+	os.Exit(1)
+}

@@ -5,9 +5,13 @@
 // then run the cross-stack overlap analysis and print where the time went.
 //
 //	go run ./examples/quickstart
+//
+// With -out DIR the collected trace is also written as a chunked trace
+// directory, ready for rlscope-analyze or rlscope-serve.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,6 +23,8 @@ import (
 )
 
 func main() {
+	out := flag.String("out", "", "also write the trace to this directory")
+	flag.Parse()
 	p := rlscope.New(rlscope.Options{
 		Workload: "quickstart",
 		Flags:    rlscope.FullInstrumentation(),
@@ -64,6 +70,12 @@ func main() {
 	tr, err := p.Trace()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := p.WriteTo(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s\n", len(tr.Events), *out)
 	}
 	res := rlscope.AnalyzeProcess(tr, sess.Proc())
 	b := report.FromResult("quickstart", res, report.SortedOps(res))

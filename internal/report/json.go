@@ -1,0 +1,223 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/overlap"
+	"repro/internal/trace"
+)
+
+// Analysis is the stable JSON document describing one analysis run: the
+// wire format of both `rlscope-analyze -json` and rlscope-serve's
+// POST /analyze response. Construction is deterministic — processes ascend
+// by id, operations follow SortedOps, and all durations are integer
+// nanoseconds — so the same trace analyzed under the same options encodes
+// to the same bytes, which is what makes the document safe to address by
+// content (the service caches the encoded bytes keyed by trace digest +
+// canonicalized options).
+//
+// The Stats block is the one part describing the run rather than the
+// result: its scheduling fields (shards, evictions, peak residency) depend
+// on worker interleaving and are only reproducible at Workers:1. Every
+// other field is byte-identical across worker counts and memory budgets.
+type Analysis struct {
+	Workload  string             `json:"workload"`
+	Config    trace.FeatureFlags `json:"config"`
+	Corrected bool               `json:"corrected"`
+	Processes []ProcessJSON      `json:"processes"`
+	Stats     StreamStatsJSON    `json:"stats"`
+}
+
+// ProcessJSON is one process's slice of the document. Parent encodes the
+// fork tree in flat form (see TreeJSON for the nested form).
+type ProcessJSON struct {
+	Proc        trace.ProcID        `json:"proc"`
+	Name        string              `json:"name"`
+	Parent      trace.ProcID        `json:"parent"`
+	Breakdown   BreakdownJSON       `json:"breakdown"`
+	Transitions []TransitionRowJSON `json:"transitions,omitempty"`
+}
+
+// BreakdownJSON is the stable wire form of a Breakdown: the per-operation
+// stacked-bar cells of Figures 4/5/7 as integer nanoseconds.
+type BreakdownJSON struct {
+	TotalNS int64       `json:"total_ns"`
+	GPUNS   int64       `json:"gpu_ns"`
+	Ops     []OpRowJSON `json:"ops"`
+}
+
+// OpRowJSON is one operation's row: CPU time split by stack tier (each tier
+// includes its CPU+GPU overlap, as the paper's stacks do) plus device-busy
+// time.
+type OpRowJSON struct {
+	Op          string `json:"op"`
+	TotalNS     int64  `json:"total_ns"`
+	SimulatorNS int64  `json:"simulator_ns"`
+	PythonNS    int64  `json:"python_ns"`
+	CUDANS      int64  `json:"cuda_ns"`
+	BackendNS   int64  `json:"backend_ns"`
+	GPUNS       int64  `json:"gpu_ns"`
+}
+
+// TransitionRowJSON is the wire form of a TransitionRow (Figures 4c/4d).
+type TransitionRowJSON struct {
+	Op                string `json:"op"`
+	PythonToBackend   int    `json:"python_to_backend"`
+	PythonToSimulator int    `json:"python_to_simulator"`
+	BackendToCUDA     int    `json:"backend_to_cuda"`
+}
+
+// StreamStatsJSON is the wire form of analysis.StreamStats.
+type StreamStatsJSON struct {
+	Chunks             int   `json:"chunks"`
+	ChunksDecoded      int   `json:"chunks_decoded"`
+	Events             int   `json:"events"`
+	Shards             int   `json:"shards"`
+	Evictions          int   `json:"evictions"`
+	PeakResidentEvents int   `json:"peak_resident_events"`
+	PeakResidentBytes  int64 `json:"peak_resident_bytes"`
+}
+
+// StatsJSON converts streaming statistics to their wire form.
+func StatsJSON(s analysis.StreamStats) StreamStatsJSON {
+	return StreamStatsJSON{
+		Chunks:             s.Chunks,
+		ChunksDecoded:      s.ChunksDecoded,
+		Events:             s.Events,
+		Shards:             s.Shards,
+		Evictions:          s.Evictions,
+		PeakResidentEvents: s.PeakResidentEvents,
+		PeakResidentBytes:  s.PeakResidentBytes,
+	}
+}
+
+// BreakdownToJSON converts a Breakdown to its wire form, preserving the
+// breakdown's operation order.
+func BreakdownToJSON(b *Breakdown) BreakdownJSON {
+	out := BreakdownJSON{
+		TotalNS: int64(b.Total),
+		GPUNS:   int64(b.TotalGPU()),
+		Ops:     make([]OpRowJSON, 0, len(b.Ops)),
+	}
+	for _, op := range b.Ops {
+		out.Ops = append(out.Ops, OpRowJSON{
+			Op:          op,
+			TotalNS:     int64(b.OpTotal(op)),
+			SimulatorNS: int64(b.Cells[CellKey{op, trace.CatSimulator}]),
+			PythonNS:    int64(b.Cells[CellKey{op, trace.CatPython}]),
+			CUDANS:      int64(b.Cells[CellKey{op, trace.CatCUDA}]),
+			BackendNS:   int64(b.Cells[CellKey{op, trace.CatBackend}]),
+			GPUNS:       int64(b.GPUTime[op]),
+		})
+	}
+	return out
+}
+
+// TransitionsToJSON converts transition rows to their wire form.
+func TransitionsToJSON(rows []TransitionRow) []TransitionRowJSON {
+	out := make([]TransitionRowJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, TransitionRowJSON{
+			Op:                r.Op,
+			PythonToBackend:   r.Backend,
+			PythonToSimulator: r.Simulator,
+			BackendToCUDA:     r.CUDA,
+		})
+	}
+	return out
+}
+
+// NewAnalysis assembles the stable document for one analysis run: one
+// ProcessJSON per result, ascending by process id, operations in SortedOps
+// order, transitions included only for operations with a nonzero count.
+func NewAnalysis(meta trace.Meta, results map[trace.ProcID]*overlap.Result, stats analysis.StreamStats, corrected bool) *Analysis {
+	procs := make([]trace.ProcID, 0, len(results))
+	for p := range results {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	a := &Analysis{
+		Workload:  meta.Workload,
+		Config:    meta.Config,
+		Corrected: corrected,
+		Processes: make([]ProcessJSON, 0, len(procs)),
+		Stats:     StatsJSON(stats),
+	}
+	for _, p := range procs {
+		res := results[p]
+		info := meta.Procs[p]
+		name := info.Name
+		if name == "" {
+			name = defaultProcName(p)
+		}
+		ops := SortedOps(res)
+		pj := ProcessJSON{
+			Proc:      p,
+			Name:      name,
+			Parent:    info.Parent,
+			Breakdown: BreakdownToJSON(FromResult(name, res, ops)),
+		}
+		var rows []TransitionRow
+		for _, row := range Transitions(name, res, ops) {
+			if row.Backend+row.Simulator+row.CUDA > 0 {
+				rows = append(rows, row)
+			}
+		}
+		pj.Transitions = TransitionsToJSON(rows)
+		a.Processes = append(a.Processes, pj)
+	}
+	return a
+}
+
+// Encode writes the document as indented JSON with a trailing newline —
+// the exact bytes rlscope-serve caches and `rlscope-analyze -json` prints.
+func (a *Analysis) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// TreeNode is the nested wire form of the multi-process fork tree (the JSON
+// counterpart of ProcessTree's Figure 8 rendering).
+type TreeNode struct {
+	Proc     trace.ProcID `json:"proc"`
+	Name     string       `json:"name"`
+	Children []*TreeNode  `json:"children,omitempty"`
+}
+
+// TreeJSON builds the fork forest from run metadata: roots (Parent < 0)
+// ascend by process id, as do every node's children. Processes whose parent
+// is missing from the metadata are treated as roots rather than dropped.
+func TreeJSON(meta trace.Meta) []*TreeNode {
+	procs := make([]trace.ProcID, 0, len(meta.Procs))
+	for p := range meta.Procs {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	nodes := make(map[trace.ProcID]*TreeNode, len(procs))
+	for _, p := range procs {
+		name := meta.Procs[p].Name
+		if name == "" {
+			name = defaultProcName(p)
+		}
+		nodes[p] = &TreeNode{Proc: p, Name: name}
+	}
+	var roots []*TreeNode
+	for _, p := range procs {
+		parent := meta.Procs[p].Parent
+		if parent >= 0 && nodes[parent] != nil && parent != p {
+			nodes[parent].Children = append(nodes[parent].Children, nodes[p])
+		} else {
+			roots = append(roots, nodes[p])
+		}
+	}
+	return roots
+}
+
+// defaultProcName matches the "proc%d" fallback the text reports use.
+func defaultProcName(p trace.ProcID) string { return fmt.Sprintf("proc%d", p) }

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The serving hot paths, gated in CI: a cache hit must answer from stored
+// bytes — no Engine work, no re-encoding — which the gate enforces as a
+// roughly three-orders-of-magnitude ns/op gap (the acceptance floor is
+// 100x) and a flat allocation profile against the cache-miss path, which
+// pays the full Engine run on the quickstart trace every iteration.
+
+const benchAnalyzeBody = `{"workers":1}`
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	return newTestServer(b, Config{}, quickstartDir(b, 100))
+}
+
+func benchAnalyze(b *testing.B, h http.Handler) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/traces/qs/analyze", strings.NewReader(benchAnalyzeBody))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("analyze: %d %s", rec.Code, rec.Body)
+	}
+	return rec
+}
+
+func BenchmarkServeCacheHit(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	rec := benchAnalyze(b, h) // warm the cache
+	b.SetBytes(int64(rec.Body.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchAnalyze(b, h)
+	}
+	b.StopTimer()
+	if runs := s.EngineRuns(); runs != 1 {
+		b.Fatalf("cache hits performed engine work: %d runs for %d requests", runs, b.N+1)
+	}
+}
+
+func BenchmarkServeCacheMiss(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	rec := benchAnalyze(b, h)
+	b.SetBytes(int64(rec.Body.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.cache.reset() // force the full Engine run every iteration
+		b.StartTimer()
+		benchAnalyze(b, h)
+	}
+}

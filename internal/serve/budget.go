@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// workerBudget is the service's admission controller: a counting semaphore
+// over Engine workers, shared by every in-flight analysis. Each run
+// acquires its full worker allotment atomically — all-or-nothing, so two
+// half-satisfied requests can never deadlock holding partial allotments —
+// and requests beyond the budget queue until running analyses release
+// theirs. Wakeups are broadcast, not FIFO, which is fine here: analyses
+// are long relative to the scheduling race, and admission order is not a
+// service guarantee.
+type workerBudget struct {
+	mu    sync.Mutex
+	total int
+	avail int
+	wake  chan struct{} // closed and replaced on every release
+}
+
+func newWorkerBudget(total int) *workerBudget {
+	if total < 1 {
+		total = 1
+	}
+	return &workerBudget{total: total, avail: total, wake: make(chan struct{})}
+}
+
+// acquire blocks until n workers are available (n is clamped to the total,
+// so no request can ask for more than the budget can ever grant) or ctx is
+// cancelled.
+func (b *workerBudget) acquire(ctx context.Context, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > b.total {
+		n = b.total
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err // don't grant workers to an already-dead request
+		}
+		b.mu.Lock()
+		if b.avail >= n {
+			b.avail -= n
+			b.mu.Unlock()
+			return nil
+		}
+		wake := b.wake
+		b.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wake:
+		}
+	}
+}
+
+// release returns n workers to the budget and wakes every waiter to
+// re-check availability.
+func (b *workerBudget) release(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > b.total {
+		n = b.total
+	}
+	b.mu.Lock()
+	b.avail += n
+	close(b.wake)
+	b.wake = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// available returns the current free worker count. /healthz reports it.
+func (b *workerBudget) available() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.avail
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWorkerBudgetBlocksUntilRelease(t *testing.T) {
+	b := newWorkerBudget(2)
+	if err := b.acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- b.acquire(context.Background(), 2) }()
+	select {
+	case err := <-got:
+		t.Fatalf("second acquire succeeded while budget was exhausted: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.release(2)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("acquire did not wake after release")
+	}
+	if b.available() != 0 {
+		t.Fatalf("available = %d, want 0", b.available())
+	}
+}
+
+func TestWorkerBudgetClampsOversizedRequests(t *testing.T) {
+	b := newWorkerBudget(2)
+	// A request beyond the whole budget is clamped, not deadlocked.
+	if err := b.acquire(context.Background(), 99); err != nil {
+		t.Fatal(err)
+	}
+	if b.available() != 0 {
+		t.Fatalf("available = %d, want 0", b.available())
+	}
+	b.release(99)
+	if b.available() != 2 {
+		t.Fatalf("available = %d, want 2 after clamped release", b.available())
+	}
+}
+
+func TestWorkerBudgetAcquireHonorsContext(t *testing.T) {
+	b := newWorkerBudget(1)
+	if err := b.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- b.acquire(ctx, 1) }()
+	cancel()
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("acquire succeeded despite cancelled context")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("acquire did not observe cancellation")
+	}
+	// The waiter left without taking anything.
+	b.release(1)
+	if b.available() != 1 {
+		t.Fatalf("available = %d, want 1", b.available())
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key: while a call for a key
+// is in flight, later callers wait for its result instead of starting
+// their own. Unlike classic singleflight, the in-flight function does not
+// run on any caller's context — it gets a context derived from the group's
+// base that is cancelled only when every interested caller has gone away
+// (or the group is closed). A client disconnect therefore detaches that
+// one waiter; the Engine run it joined keeps going as long as anyone else
+// still wants the answer, and is cancelled the moment nobody does.
+type flightGroup struct {
+	base context.Context
+
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{} // closed when val/err are set
+	val     []byte
+	err     error
+	waiters int                // callers still blocked on done
+	cancel  context.CancelFunc // cancels the fn's run context
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, calls: map[string]*flightCall{}}
+}
+
+// do returns fn's result for key, starting fn only if no call for key is
+// already in flight; shared reports whether the caller joined an existing
+// flight. When ctx is cancelled the caller detaches with ctx.Err() — and
+// if it was the last waiter, the flight's run context is cancelled so the
+// underlying work stops.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return g.await(ctx, key, c, true)
+	}
+	runCtx, cancel := context.WithCancel(g.base)
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		val, err := fn(runCtx)
+		g.mu.Lock()
+		c.val, c.err = val, err
+		if g.calls[key] == c { // a dying flight may already have been forgotten
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	return g.await(ctx, key, c, false)
+}
+
+func (g *flightGroup) await(ctx context.Context, key string, c *flightCall, shared bool) ([]byte, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, shared, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			// Nobody wants the result anymore: stop the work, and forget
+			// the key immediately so a request arriving while the dying
+			// run unwinds starts a fresh flight instead of inheriting
+			// the cancellation error.
+			c.cancel()
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+		}
+		g.mu.Unlock()
+		return nil, shared, ctx.Err()
+	}
+}
+
+// waiting reports how many callers are blocked on key's in-flight call
+// (0 when none is in flight). Test instrumentation.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightAbandonedKeyStartsFresh pins the abandonment contract: once
+// the last waiter detaches, the key is forgotten immediately — a request
+// arriving while the dying run is still unwinding starts a fresh flight
+// instead of inheriting the cancellation error.
+func TestFlightAbandonedKeyStartsFresh(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	var runs atomic.Int32
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+
+	cctx, cancel := context.WithCancel(context.Background())
+	detached := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(cctx, "k", func(ctx context.Context) ([]byte, error) {
+			runs.Add(1)
+			close(started)
+			<-unblock // keep the dying run in flight past the second do
+			return nil, ctx.Err()
+		})
+		detached <- err
+	}()
+	<-started
+	cancel()
+	if err := <-detached; err == nil {
+		t.Fatal("detached waiter got no error")
+	}
+	if n := g.waiting("k"); n != 0 {
+		t.Fatalf("abandoned key still has %d waiters registered", n)
+	}
+
+	// The first fn is still blocked, but the key must be free.
+	val, shared, err := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		runs.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || shared || string(val) != "ok" {
+		t.Fatalf("fresh flight after abandonment: val=%q shared=%v err=%v", val, shared, err)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("runs = %d, want 2 (abandoned + fresh)", n)
+	}
+
+	// Let the abandoned run unwind; it must not disturb later flights.
+	close(unblock)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if val, _, err := g.do(context.Background(), "k", func(context.Context) ([]byte, error) {
+			return []byte("again"), nil
+		}); err == nil && string(val) == "again" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight group unusable after abandoned run unwound")
+		}
+	}
+}

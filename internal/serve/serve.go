@@ -1,0 +1,539 @@
+// Package serve implements rlscope-serve: a long-running HTTP/JSON service
+// answering RL-Scope analysis queries over a repository of registered trace
+// directories. It is the step from one-shot CLI analysis to shared
+// infrastructure: reports are cached by content — the trace directory's
+// DirDigest plus the canonicalized analysis options — in a bounded LRU, so
+// repeated queries cost a map lookup; concurrent identical queries collapse
+// into one Engine run via singleflight; and a global worker budget bounds
+// the total Engine parallelism the service spends at once, however many
+// clients are connected.
+//
+// The response body of POST /analyze is the report.Analysis document
+// `rlscope-analyze -json` prints — the CLI and the service are two front
+// ends to one encoding, byte-identical at workers:1 (see the Analysis
+// type's determinism contract for the stats caveat above that).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	rlscope "repro"
+	"repro/internal/analysis"
+	"repro/internal/calib"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// Config configures a Server. The zero value serves with a 64 MiB report
+// cache, one Engine worker per CPU as the global budget, and correction
+// disabled.
+type Config struct {
+	// CacheBytes bounds the total encoded size of cached analysis
+	// documents; <= 0 selects 64 MiB.
+	CacheBytes int64
+	// MaxWorkers is the global Engine-worker budget shared by every
+	// in-flight analysis; <= 0 selects one per CPU.
+	MaxWorkers int
+	// Calibration, when set, lets clients request overhead-corrected
+	// analyses ({"correction": true}); without it such requests fail
+	// with 400.
+	Calibration *calib.Calibration
+}
+
+// DefaultCacheBytes is the report-cache budget selected by Config.CacheBytes <= 0.
+const DefaultCacheBytes = 64 << 20
+
+// Server is the service state: the registered traces, the report cache,
+// the singleflight group, and the admission budget. Register traces with
+// AddDir, mount Handler on an http.Server, and Close on shutdown to abort
+// any still-running analyses.
+type Server struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu     sync.RWMutex
+	traces map[string]*traceEntry
+	ids    []string // registration order
+
+	cache   *reportCache
+	flights *flightGroup
+	budget  *workerBudget
+
+	// engineRuns counts Engine.Analyze calls actually started — the
+	// instrumented ground truth that cache hits and deduplicated
+	// requests perform zero Engine work.
+	engineRuns atomic.Int64
+
+	// preRun, when set (tests only), runs inside the singleflight call
+	// before admission and the Engine run, on the flight's run context.
+	preRun func(ctx context.Context, key string)
+}
+
+// traceEntry is an immutable snapshot of one registered directory's
+// content. When a miss-path analysis discovers the directory's digest has
+// changed since the snapshot was taken, a fresh entry replaces it in the
+// registry; handlers holding the old pointer keep a consistent (if stale)
+// read-only view.
+type traceEntry struct {
+	id      string
+	info    TraceInfo
+	dir     string
+	meta    trace.Meta
+	summary *TraceSummary
+}
+
+// TraceInfo is one registered trace's identity row (GET /v1/traces).
+type TraceInfo struct {
+	ID       string `json:"id"`
+	Digest   string `json:"digest"`
+	Workload string `json:"workload"`
+	Chunks   int    `json:"chunks"`
+	Events   int    `json:"events"`
+	Procs    int    `json:"procs"`
+}
+
+// TraceSummary is the sidecar-derived quick look at one trace
+// (GET /v1/traces/{id}/summary): per-process event counts and extents plus
+// the fork tree, computed at registration without decoding any chunk.
+type TraceSummary struct {
+	TraceInfo
+	Config    trace.FeatureFlags `json:"config"`
+	Processes []ProcSummary      `json:"processes"`
+	Tree      []*report.TreeNode `json:"tree"`
+	Phases    []string           `json:"phases,omitempty"`
+}
+
+// ProcSummary is one process's row of a TraceSummary.
+type ProcSummary struct {
+	Proc     trace.ProcID `json:"proc"`
+	Name     string       `json:"name"`
+	Parent   trace.ProcID `json:"parent"`
+	Events   int          `json:"events"`
+	MinStart int64        `json:"min_start_ns"`
+	MaxEnd   int64        `json:"max_end_ns"`
+}
+
+// AnalyzeRequest is the POST /v1/traces/{id}/analyze body. The zero value
+// (or an empty body) analyzes every process with the full worker budget,
+// unbounded residency, and no correction.
+type AnalyzeRequest struct {
+	// Workers requests an Engine pool size; it is clamped to the
+	// service's global budget, and <= 0 selects the clamped default.
+	Workers int `json:"workers,omitempty"`
+	// MaxResidentBytes bounds the streaming analysis's resident decoded
+	// events, exactly like rlscope-analyze -max-resident.
+	MaxResidentBytes int64 `json:"max_resident_bytes,omitempty"`
+	// Correction requests overhead correction; the server must have been
+	// configured with a calibration.
+	Correction bool `json:"correction,omitempty"`
+	// Procs restricts the analysis to the listed processes (empty = all).
+	Procs []trace.ProcID `json:"procs,omitempty"`
+}
+
+// NewServer builds a Server from cfg. Call Close when done with it.
+func NewServer(cfg Config) *Server {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = analysis.DefaultWorkers()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		baseCtx: ctx,
+		stop:    cancel,
+		traces:  map[string]*traceEntry{},
+		cache:   newReportCache(cfg.CacheBytes),
+		flights: newFlightGroup(ctx),
+		budget:  newWorkerBudget(cfg.MaxWorkers),
+	}
+}
+
+// Close aborts every in-flight Engine run (their contexts descend from the
+// server's). Call it after draining the HTTP listener.
+func (s *Server) Close() { s.stop() }
+
+// EngineRuns reports how many Engine.Analyze calls the server has started.
+func (s *Server) EngineRuns() int64 { return s.engineRuns.Load() }
+
+// AddDir registers a chunked trace directory under id: it digests the
+// directory's content, reads the run metadata, and precomputes the sidecar
+// summary. Registering the same id twice is an error; the same directory
+// under two ids is fine (they share a digest, hence a cache footprint).
+func (s *Server) AddDir(id, dir string) (TraceInfo, error) {
+	if id == "" || strings.ContainsAny(id, "/ \t\n") {
+		return TraceInfo{}, fmt.Errorf("serve: invalid trace id %q", id)
+	}
+	entry, err := newTraceEntry(id, dir)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces[id]; ok {
+		return TraceInfo{}, fmt.Errorf("serve: trace id %q already registered", id)
+	}
+	s.traces[id] = entry
+	s.ids = append(s.ids, id)
+	return entry.info, nil
+}
+
+// newTraceEntry snapshots a directory's content: digest, metadata, and the
+// sidecar summary.
+func newTraceEntry(id, dir string) (*traceEntry, error) {
+	digest, err := trace.DirDigest(dir)
+	if err != nil {
+		return nil, err
+	}
+	r, err := trace.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	meta := r.Meta()
+	summary, err := buildSummary(r, meta)
+	if err != nil {
+		return nil, err
+	}
+	summary.ID = id
+	summary.Digest = digest
+	summary.Workload = meta.Workload
+	return &traceEntry{id: id, info: summary.TraceInfo, dir: dir, meta: meta, summary: summary}, nil
+}
+
+// buildSummary derives the trace summary from sidecar indexes alone (a
+// missing sidecar falls back to a one-off chunk decode inside Index).
+func buildSummary(r *trace.Reader, meta trace.Meta) (*TraceSummary, error) {
+	type span struct {
+		events   int
+		min, max int64
+	}
+	spans := map[trace.ProcID]*span{}
+	phaseNames := map[string]bool{}
+	totalEvents := 0
+	for i := 0; i < r.NumChunks(); i++ {
+		ix, err := r.Index(i)
+		if err != nil {
+			return nil, err
+		}
+		totalEvents += ix.Events
+		for p, sp := range ix.Procs {
+			agg, ok := spans[p]
+			if !ok {
+				agg = &span{min: int64(sp.MinStart), max: int64(sp.MaxEnd)}
+				spans[p] = agg
+			}
+			if int64(sp.MinStart) < agg.min {
+				agg.min = int64(sp.MinStart)
+			}
+			if int64(sp.MaxEnd) > agg.max {
+				agg.max = int64(sp.MaxEnd)
+			}
+			agg.events += sp.Events
+		}
+		for _, e := range ix.Phases {
+			phaseNames[e.Name] = true
+		}
+	}
+	// List every process the metadata or the chunks know about: metadata
+	// names processes, chunks prove they produced events.
+	procSet := map[trace.ProcID]bool{}
+	for p := range meta.Procs {
+		procSet[p] = true
+	}
+	for p := range spans {
+		procSet[p] = true
+	}
+	procs := make([]trace.ProcID, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+
+	sum := &TraceSummary{
+		TraceInfo: TraceInfo{Chunks: r.NumChunks(), Events: totalEvents, Procs: len(procs)},
+		Config:    meta.Config,
+		Tree:      report.TreeJSON(meta),
+	}
+	for _, p := range procs {
+		info := meta.Procs[p]
+		name := info.Name
+		if name == "" {
+			name = fmt.Sprintf("proc%d", p)
+		}
+		ps := ProcSummary{Proc: p, Name: name, Parent: info.Parent}
+		if agg := spans[p]; agg != nil {
+			ps.Events, ps.MinStart, ps.MaxEnd = agg.events, agg.min, agg.max
+		}
+		sum.Processes = append(sum.Processes, ps)
+	}
+	for name := range phaseNames {
+		sum.Phases = append(sum.Phases, name)
+	}
+	sort.Strings(sum.Phases)
+	return sum, nil
+}
+
+func (s *Server) lookup(id string) *traceEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.traces[id]
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}/summary", s.handleSummary)
+	mux.HandleFunc("POST /v1/traces/{id}/analyze", s.handleAnalyze)
+	return mux
+}
+
+type healthResponse struct {
+	Status     string       `json:"status"`
+	Traces     int          `json:"traces"`
+	EngineRuns int64        `json:"engine_runs"`
+	Workers    workerHealth `json:"workers"`
+	Cache      cacheStats   `json:"cache"`
+}
+
+type workerHealth struct {
+	Total     int `json:"total"`
+	Available int `json:"available"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.ids)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:     "ok",
+		Traces:     n,
+		EngineRuns: s.engineRuns.Load(),
+		Workers:    workerHealth{Total: s.cfg.MaxWorkers, Available: s.budget.available()},
+		Cache:      s.cache.stats(),
+	})
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]TraceInfo, 0, len(s.ids))
+	for _, id := range s.ids {
+		infos = append(infos, s.traces[id].info)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, struct {
+		Traces []TraceInfo `json:"traces"`
+	}{infos})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	entry := s.lookup(r.PathValue("id"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "unknown trace id")
+		return
+	}
+	writeJSON(w, http.StatusOK, entry.summary)
+}
+
+// canonical is an analyze request normalized to its cache-key form:
+// workers resolved to the pool size a run would actually get (<= 0 becomes
+// the per-CPU default clamped to the service budget, explicit asks clamp
+// to the budget — so every spelling of the same effective pool is one
+// key), negative residency floored, and the process filter sorted and
+// deduplicated (so [2,1] and [1,1,2] are one key).
+type canonical struct {
+	workers     int
+	maxResident int64
+	correction  bool
+	procs       []trace.ProcID
+}
+
+func (s *Server) canonicalize(req AnalyzeRequest) canonical {
+	c := canonical{
+		workers:    analysis.ClampWorkers(req.Workers, s.cfg.MaxWorkers),
+		correction: req.Correction,
+	}
+	if req.MaxResidentBytes > 0 {
+		c.maxResident = req.MaxResidentBytes
+	}
+	if len(req.Procs) > 0 {
+		seen := map[trace.ProcID]bool{}
+		for _, p := range req.Procs {
+			if !seen[p] {
+				seen[p] = true
+				c.procs = append(c.procs, p)
+			}
+		}
+		sort.Slice(c.procs, func(i, j int) bool { return c.procs[i] < c.procs[j] })
+	}
+	return c
+}
+
+// cacheKey addresses a report by content: what trace (digest) analyzed
+// under what result-and-run-relevant options.
+func cacheKey(digest string, c canonical) string {
+	var sb strings.Builder
+	sb.WriteString(digest)
+	sb.WriteString("|w=")
+	sb.WriteString(strconv.Itoa(c.workers))
+	sb.WriteString("|m=")
+	sb.WriteString(strconv.FormatInt(c.maxResident, 10))
+	sb.WriteString("|c=")
+	if c.correction {
+		sb.WriteString("1")
+	} else {
+		sb.WriteString("0")
+	}
+	sb.WriteString("|p=")
+	for i, p := range c.procs {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(strconv.Itoa(int(p)))
+	}
+	return sb.String()
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	entry := s.lookup(r.PathValue("id"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "unknown trace id")
+		return
+	}
+	var req AnalyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	// io.EOF means an empty body — legal, meaning "all defaults".
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad analyze request: "+err.Error())
+		return
+	}
+	if req.Correction && s.cfg.Calibration == nil {
+		writeError(w, http.StatusBadRequest, "correction requested but the server has no calibration loaded (start rlscope-serve with -calibration)")
+		return
+	}
+	c := s.canonicalize(req)
+	key := cacheKey(entry.info.Digest, c)
+
+	w.Header().Set("X-RLScope-Digest", entry.info.Digest)
+	if body, ok := s.cache.get(key); ok {
+		// Content hit: the stored bytes answer the request with zero
+		// Engine (and zero encoding) work.
+		w.Header().Set("X-RLScope-Cache", "hit")
+		writeBody(w, body)
+		return
+	}
+
+	body, shared, err := s.flights.do(r.Context(), key, func(runCtx context.Context) ([]byte, error) {
+		// A flight that lost a fill race can still answer from cache.
+		if body, ok := s.cache.get(key); ok {
+			return body, nil
+		}
+		// Every miss pays an Engine run, so re-digesting first is cheap
+		// insurance that the report is addressed by the content actually
+		// analyzed: if the directory was rewritten since registration,
+		// snapshot it afresh and cache under the new digest — never new
+		// bytes under the old one. Reports cached before the rewrite
+		// stay addressed by the content they were computed from.
+		storeKey := key
+		if digest, err := trace.DirDigest(entry.dir); err != nil {
+			return nil, err
+		} else if digest != entry.info.Digest {
+			fresh, err := newTraceEntry(entry.id, entry.dir)
+			if err != nil {
+				return nil, err
+			}
+			s.mu.Lock()
+			s.traces[entry.id] = fresh
+			s.mu.Unlock()
+			entry = fresh
+			storeKey = cacheKey(digest, c)
+		}
+		if s.preRun != nil {
+			s.preRun(runCtx, key)
+		}
+		// Admission: hold this run's worker allotment for its duration.
+		if err := s.budget.acquire(runCtx, c.workers); err != nil {
+			return nil, err
+		}
+		defer s.budget.release(c.workers)
+
+		s.engineRuns.Add(1)
+		opts := []rlscope.EngineOption{
+			rlscope.WithWorkers(c.workers),
+			rlscope.WithMaxResidentBytes(c.maxResident),
+			rlscope.WithProcesses(c.procs...),
+		}
+		if c.correction {
+			opts = append(opts, rlscope.WithCorrection(s.cfg.Calibration))
+		}
+		// A fresh Source per run: trace.Reader is not safe for
+		// concurrent use, so runs never share one.
+		rep, err := rlscope.NewEngine(opts...).Analyze(runCtx, rlscope.FromDir(entry.dir))
+		if err != nil {
+			return nil, err
+		}
+		doc := report.NewAnalysis(rep.Meta, rep.Results, rep.Stats, rep.Corrected)
+		var buf bytes.Buffer
+		if err := doc.Encode(&buf); err != nil {
+			return nil, err
+		}
+		body := buf.Bytes()
+		s.cache.add(storeKey, body)
+		return body, nil
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; nothing useful can be written.
+			return
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, "analysis aborted: "+err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "analysis failed: "+err.Error())
+		return
+	}
+	if shared {
+		w.Header().Set("X-RLScope-Cache", "dedup")
+	} else {
+		w.Header().Set("X-RLScope-Cache", "miss")
+	}
+	writeBody(w, body)
+}
+
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// digestTestDir writes a small multi-chunk trace directory.
+func digestTestDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		ts := vclock.Time(i * 100)
+		w.Append(Event{
+			Proc: ProcID(i % 3), Kind: KindCPU, Cat: CatPython,
+			Start: ts, End: ts + 50, Name: "step",
+		})
+	}
+	meta := Meta{Workload: "digest-test", Config: Full(), Procs: map[ProcID]ProcInfo{
+		0: {Name: "trainer", Parent: -1}, 1: {Name: "w1", Parent: 0}, 2: {Name: "w2", Parent: 0},
+	}}
+	if err := w.Close(meta); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDirDigestStable(t *testing.T) {
+	dir := digestTestDir(t)
+	d1, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != 64 {
+		t.Fatalf("digest %q is not 64 hex chars", d1)
+	}
+	d2, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not stable across calls: %s vs %s", d1, d2)
+	}
+}
+
+func TestDirDigestIgnoresForeignFiles(t *testing.T) {
+	dir := digestTestDir(t)
+	before, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("scratch"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatal("digest changed when a non-trace file was added")
+	}
+}
+
+func TestDirDigestDetectsContentChanges(t *testing.T) {
+	dir := digestTestDir(t)
+	before, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the first chunk file.
+	names, err := filepath.Glob(filepath.Join(dir, "*"+chunkSuffix))
+	if err != nil || len(names) < 2 {
+		t.Fatalf("expected multiple chunks, got %v (err %v)", names, err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("digest did not change when chunk content changed")
+	}
+}
+
+func TestDirDigestDetectsMetadataChanges(t *testing.T) {
+	dir := digestTestDir(t)
+	before, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaPath := filepath.Join(dir, metaFileName)
+	data, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metaPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, err := DirDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("digest did not change when metadata changed")
+	}
+}
+
+func TestDirDigestEmptyDir(t *testing.T) {
+	if _, err := DirDigest(t.TempDir()); err == nil {
+		t.Fatal("expected an error digesting a directory with no trace files")
+	}
+}

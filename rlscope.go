@@ -227,6 +227,12 @@ func AnalyzeDirStats(dir string, opts AnalysisOptions) (map[ProcID]*Result, Stre
 	return rep.Results, rep.Stats, nil
 }
 
+// TraceDirDigest returns the SHA-256 content digest identifying a chunked
+// trace directory: a hash over its metadata, chunk files, and sidecar
+// indexes. Equal digests mean byte-identical traces, which is what lets
+// rlscope-serve address cached analysis reports by (digest, options).
+func TraceDirDigest(dir string) (string, error) { return trace.DirDigest(dir) }
+
 // Calibrate measures the mean cost of each profiler book-keeping path by
 // re-running the workload under feature subsets (paper Appendix C).
 func Calibrate(run Runner, seed int64) (*Calibration, error) { return calib.Calibrate(run, seed) }
