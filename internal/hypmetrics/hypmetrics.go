@@ -1,0 +1,129 @@
+// Package hypmetrics composes the full metric source for the hypothesis
+// grid: every bundle from internal/experiments plus the servecache timing
+// bundle, which must live outside internal/experiments because
+// internal/serve depends on the root rlscope package, whose tests import
+// the experiments package — routing servecache through experiments would
+// close an import cycle.
+package hypmetrics
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Experiments lists every bundle id Metrics accepts.
+func Experiments() []string {
+	return append(append([]string{}, experiments.MetricExperiments...), "servecache")
+}
+
+// Metrics is the hypothesis.Source backing the committed grid.
+func Metrics(ctx context.Context, experiment string, steps int, seed int64) (map[string]float64, error) {
+	if experiment == "servecache" {
+		return serveCacheMetrics(ctx, steps, seed)
+	}
+	return experiments.Metrics(ctx, experiment, steps, seed)
+}
+
+// serveCacheMetrics measures rlscope-serve's content-addressed report cache
+// (PR 5's claim): a cache hit answers from stored bytes and must be far
+// cheaper than the cache miss that pays a full Engine run. Host wall-clock
+// time — a timing bundle.
+func serveCacheMetrics(ctx context.Context, steps int, seed int64) (map[string]float64, error) {
+	if steps <= 0 {
+		steps = 200
+	}
+	stats, err := workloads.Run(workloads.Spec{
+		Algo: "DDPG", Env: "Walker2D", Model: backend.Graph,
+		TotalSteps: steps, Seed: seed,
+	}, trace.Uninstrumented())
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: servecache: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "rlscope-hyp-servecache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := trace.NewWriter(dir, 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	w.Append(stats.Trace.Events...)
+	if err := w.Close(stats.Trace.Meta); err != nil {
+		return nil, err
+	}
+
+	request := func(h http.Handler) (time.Duration, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/traces/t/analyze", strings.NewReader(`{"workers":1}`))
+		start := time.Now()
+		h.ServeHTTP(rec, req)
+		elapsed := time.Since(start)
+		if rec.Code != http.StatusOK {
+			return 0, fmt.Errorf("hypmetrics: servecache: analyze: %d %s", rec.Code, rec.Body)
+		}
+		return elapsed, nil
+	}
+
+	// Miss: a fresh server's first request pays digesting + the Engine
+	// run + encoding. Min over a few one-shot servers.
+	const missReps = 3
+	var missBest time.Duration
+	for i := 0; i < missReps; i++ {
+		s := serve.NewServer(serve.Config{})
+		if _, err := s.AddDir("t", dir); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("hypmetrics: servecache: %w", err)
+		}
+		elapsed, err := request(s.Handler())
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || elapsed < missBest {
+			missBest = elapsed
+		}
+	}
+
+	// Hit: a warm server answers the identical request from the cache.
+	s := serve.NewServer(serve.Config{})
+	defer s.Close()
+	if _, err := s.AddDir("t", dir); err != nil {
+		return nil, fmt.Errorf("hypmetrics: servecache: %w", err)
+	}
+	h := s.Handler()
+	if _, err := request(h); err != nil { // warm the cache
+		return nil, err
+	}
+	const hitReps = 50
+	var hitBest time.Duration
+	for i := 0; i < hitReps; i++ {
+		elapsed, err := request(h)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || elapsed < hitBest {
+			hitBest = elapsed
+		}
+	}
+	if runs := s.EngineRuns(); runs != 1 {
+		return nil, fmt.Errorf("hypmetrics: servecache: cache hits performed %d engine runs", runs)
+	}
+	return map[string]float64{
+		"miss_over_hit": missBest.Seconds() / hitBest.Seconds(),
+	}, nil
+}
