@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy wrappers (they must stay byte-identical to the Engine)
 package rlscope
 
 // One benchmark per paper table and figure (see DESIGN.md's per-experiment
@@ -369,7 +368,7 @@ var parallelBenchTrace = sync.OnceValues(func() (*trace.Trace, error) {
 
 // BenchmarkParallelAnalysis measures the sharded analysis engine's scaling:
 // the same trace analyzed with 1/2/4/8 workers. workers=1 is the sequential
-// baseline Analyze delegates to.
+// baseline.
 func BenchmarkParallelAnalysis(b *testing.B) {
 	tr, err := parallelBenchTrace()
 	if err != nil {
@@ -379,7 +378,7 @@ func BenchmarkParallelAnalysis(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if r := AnalyzeParallel(tr, AnalysisOptions{Workers: workers}); len(r) == 0 {
+				if r := analysis.Run(tr, analysis.Options{Workers: workers}); len(r) == 0 {
 					b.Fatal("empty analysis")
 				}
 			}
@@ -455,7 +454,7 @@ func BenchmarkEngineAnalysis(b *testing.B) {
 
 // BenchmarkStreamingAnalysis measures the streaming ingestion + incremental
 // analysis path against load-then-analyze on the same on-disk trace. The
-// "materialized" variant is ReadDir + AnalyzeParallel; the stream variants
+// "materialized" variant is ReadDir + analysis.Run; the stream variants
 // run analysis.RunStream at 1 and 4 workers, unbounded and under a 256 KiB
 // resident budget. Each variant reports its peak resident events/bytes —
 // the budgeted run's peak stays bounded near MaxResidentBytes while the
@@ -478,7 +477,7 @@ func BenchmarkStreamingAnalysis(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if r := AnalyzeParallel(loaded, AnalysisOptions{Workers: 1}); len(r) == 0 {
+			if r := analysis.Run(loaded, analysis.Options{Workers: 1}); len(r) == 0 {
 				b.Fatal("empty analysis")
 			}
 		}

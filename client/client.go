@@ -1,0 +1,330 @@
+// Package client is the canonical Go consumer of the rlscope-serve v1 API:
+// one typed client for every endpoint, shared by cmd/rlscope-prof's -serve
+// streaming mode, the CI smoke step, and tests — so the HTTP surface has a
+// single idiomatic binding instead of scattered hand-rolled net/http calls.
+//
+// The write path composes with the profiler's chunked trace writer through
+// Sink: Client.Sink returns a trace.Sink that ships each flushed chunk
+// frame as POST /v1/traces/{id}/chunks and finalizes the run with
+// POST /v1/traces/{id}/seal, so
+//
+//	c := client.New("http://localhost:8080")
+//	w := trace.NewSinkWriter(c.Sink(ctx, "run42"), 0)
+//	w.Append(events...)
+//	w.Close(meta)
+//
+// streams a live trace into the server's store with exactly the bytes a
+// local trace.NewWriter would have produced. Appends are idempotent on the
+// server, so the sink retries transient transport failures safely.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Client talks to one rlscope-serve instance.
+type Client struct {
+	base string
+	http *http.Client
+	// retries is how many times transport-level failures of idempotent
+	// requests are retried (API errors are never retried).
+	retries int
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithRetries sets how many additional attempts transport failures get on
+// idempotent requests (default 2; 0 disables).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// New returns a client for the service at base, e.g. "http://host:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient, retries: 2}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a structured /v1 error: the server's stable machine-readable
+// code plus its human message, with the HTTP status attached. Callers
+// branch on Code — the vocabulary is the serve.ErrCode* constants,
+// tabulated in DESIGN.md §9.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rlscope-serve: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// decodeError turns a non-2xx response into an *APIError.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env serve.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return &APIError{Status: resp.StatusCode, Code: "unknown",
+			Message: strings.TrimSpace(string(body))}
+	}
+	return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+}
+
+// do performs one request, retrying transport failures when idempotent.
+// Every v1 request in this client is idempotent by protocol design —
+// chunk appends carry sequence numbers the server deduplicates.
+func (c *Client) do(req *http.Request, rewind func() io.Reader) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= c.retries || req.Context().Err() != nil || rewind == nil {
+			return nil, lastErr
+		}
+		req = req.Clone(req.Context())
+		req.Body = io.NopCloser(rewind())
+		// Brief linear backoff: transient transport failures (connection
+		// reset, server restart) usually clear within a beat.
+		select {
+		case <-time.After(time.Duration(attempt+1) * 50 * time.Millisecond):
+		case <-req.Context().Done():
+			return nil, lastErr
+		}
+	}
+}
+
+// getJSON GETs path and decodes the response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req, func() io.Reader { return nil })
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON POSTs body (JSON-encoded) to path and decodes the response.
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req, func() io.Reader { return bytes.NewReader(data) })
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health returns GET /healthz as loosely-typed JSON.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	err := c.getJSON(ctx, "/healthz", &out)
+	return out, err
+}
+
+// Traces lists every trace the server knows about (GET /v1/traces).
+func (c *Client) Traces(ctx context.Context) ([]serve.TraceInfo, error) {
+	var out struct {
+		Traces []serve.TraceInfo `json:"traces"`
+	}
+	err := c.getJSON(ctx, "/v1/traces", &out)
+	return out.Traces, err
+}
+
+// Register opens a live trace under id (POST /v1/traces). Registration is
+// optional — the first AppendChunk also creates the trace — but an explicit
+// Register surfaces id collisions before any chunk is shipped.
+func (c *Client) Register(ctx context.Context, id string) (serve.TraceInfo, error) {
+	var out serve.TraceInfo
+	err := c.postJSON(ctx, "/v1/traces", serve.CreateTraceRequest{ID: id}, &out)
+	return out, err
+}
+
+// Summary fetches GET /v1/traces/{id}/summary.
+func (c *Client) Summary(ctx context.Context, id string) (*serve.TraceSummary, error) {
+	var out serve.TraceSummary
+	if err := c.getJSON(ctx, "/v1/traces/"+url.PathEscape(id)+"/summary", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Analyze runs (or serves from cache) an analysis of trace id and returns
+// the encoded report.Analysis document verbatim — the exact bytes the
+// server caches, so byte-level comparisons against `rlscope-analyze -json`
+// output work without a decode/re-encode round trip.
+func (c *Client) Analyze(ctx context.Context, id string, req serve.AnalyzeRequest) ([]byte, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/traces/"+url.PathEscape(id)+"/analyze", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(hreq, func() io.Reader { return bytes.NewReader(data) })
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// AnalyzeDoc is Analyze with the document decoded.
+func (c *Client) AnalyzeDoc(ctx context.Context, id string, req serve.AnalyzeRequest) (map[string]any, error) {
+	body, err := c.Analyze(ctx, id, req)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// AppendChunk ships one encoded chunk frame as sequence number seq
+// (POST /v1/traces/{id}/chunks). index, when non-nil, is sent alongside as
+// the sidecar for the server to cross-check; nil lets the server derive it.
+// Appends are idempotent: retrying a delivered sequence number with the
+// same bytes is a no-op the response flags as Duplicate.
+func (c *Client) AppendChunk(ctx context.Context, id string, seq int, chunk []byte, index *trace.ChunkIndex) (serve.AppendResponse, error) {
+	var out serve.AppendResponse
+	path := c.base + "/v1/traces/" + url.PathEscape(id) + "/chunks?seq=" + strconv.Itoa(seq)
+
+	var build func() (io.Reader, string, error)
+	if index == nil {
+		build = func() (io.Reader, string, error) {
+			return bytes.NewReader(chunk), "application/octet-stream", nil
+		}
+	} else {
+		build = func() (io.Reader, string, error) {
+			var buf bytes.Buffer
+			mw := multipart.NewWriter(&buf)
+			cw, err := mw.CreateFormFile("chunk", "chunk.rlstrace")
+			if err == nil {
+				_, err = cw.Write(chunk)
+			}
+			if err == nil {
+				var iw io.Writer
+				if iw, err = mw.CreateFormFile("index", "chunk.rlsidx"); err == nil {
+					err = json.NewEncoder(iw).Encode(index)
+				}
+			}
+			if err == nil {
+				err = mw.Close()
+			}
+			if err != nil {
+				return nil, "", err
+			}
+			return &buf, mw.FormDataContentType(), nil
+		}
+	}
+	body, contentType, err := build()
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.do(req, func() io.Reader {
+		r, _, err := build()
+		if err != nil {
+			return strings.NewReader("")
+		}
+		return r
+	})
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, decodeError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Seal finalizes trace id with its run metadata
+// (POST /v1/traces/{id}/seal). After a successful seal the server's digest
+// for the trace equals trace.DirDigest over the stored directory.
+func (c *Client) Seal(ctx context.Context, id string, meta trace.Meta) (serve.SealResponse, error) {
+	var out serve.SealResponse
+	err := c.postJSON(ctx, "/v1/traces/"+url.PathEscape(id)+"/seal", meta, &out)
+	return out, err
+}
+
+// Sink returns a trace.Sink streaming into trace id on the server: the
+// network counterpart of trace.DirSink. Plug it into trace.NewSinkWriter
+// (or profiler.WriteToSink) and a workload profiles straight into shared
+// infrastructure — same frames, same sequence numbers, same digest as a
+// local write of the same run.
+func (c *Client) Sink(ctx context.Context, id string) trace.Sink {
+	return &netSink{ctx: ctx, c: c, id: id}
+}
+
+// netSink adapts Client to trace.Sink. The Writer delivering to it is
+// single-goroutine, so no locking is needed beyond the server's own.
+type netSink struct {
+	ctx context.Context
+	c   *Client
+	id  string
+}
+
+func (ns *netSink) AppendChunk(seq int, chunk []byte, index *trace.ChunkIndex) error {
+	_, err := ns.c.AppendChunk(ns.ctx, ns.id, seq, chunk, index)
+	return err
+}
+
+func (ns *netSink) Seal(meta trace.Meta) error {
+	_, err := ns.c.Seal(ns.ctx, ns.id, meta)
+	return err
+}

@@ -1,0 +1,183 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	rlscope "repro"
+	"repro/client"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// testTrace is a small deterministic two-process trace with a phase.
+func testTrace() ([]trace.Event, trace.Meta) {
+	var events []trace.Event
+	events = append(events, trace.Event{
+		Proc: 0, Kind: trace.KindPhase, Name: "training", Start: 0, End: 20_000,
+	})
+	for i := 0; i < 200; i++ {
+		ts := vclock.Time(i * 100)
+		events = append(events,
+			trace.Event{Proc: 0, Kind: trace.KindCPU, Cat: trace.CatPython, Start: ts, End: ts + 60, Name: "step"},
+			trace.Event{Proc: 1, Kind: trace.KindCPU, Cat: trace.CatSimulator, Start: ts, End: ts + 40, Name: "env"},
+		)
+	}
+	meta := trace.Meta{Workload: "client-test", Config: trace.Full(), Procs: map[trace.ProcID]trace.ProcInfo{
+		0: {Name: "trainer", Parent: -1}, 1: {Name: "sim", Parent: 0},
+	}}
+	return events, meta
+}
+
+// newLiveService spins up an ingest-enabled server over HTTP.
+func newLiveService(t *testing.T) (*client.Client, string) {
+	t.Helper()
+	store := t.TempDir()
+	s := serve.NewServer(serve.Config{StoreDir: store})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL), store
+}
+
+// TestClientStreamRoundTrip streams a trace through the typed client's sink
+// — the exact path `rlscope-prof -serve` uses — and checks the server ends
+// up with a byte-identical trace directory and serves an analysis document
+// byte-identical to the offline engine's result-only rendering.
+func TestClientStreamRoundTrip(t *testing.T) {
+	c, store := newLiveService(t)
+	ctx := context.Background()
+	events, meta := testTrace()
+
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Register(ctx, "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "run1" || info.State != serve.StateOpen {
+		t.Fatalf("registered info %+v", info)
+	}
+
+	// Stream with a small chunk budget so multiple frames ship.
+	w := trace.NewSinkWriter(c.Sink(ctx, "run1"), 1<<10)
+	w.Append(events...)
+	if err := w.Close(meta); err != nil {
+		t.Fatal(err)
+	}
+
+	// The landed directory is byte-identical to a local write of the same
+	// run (same chunk budget, same frames).
+	local := t.TempDir()
+	lw, err := trace.NewWriter(local, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw.Append(events...)
+	if err := lw.Close(meta); err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, err := trace.DirDigest(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDigest, err := trace.DirDigest(filepath.Join(store, "run1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest != wantDigest {
+		t.Fatalf("streamed dir digest %s, local %s", gotDigest, wantDigest)
+	}
+
+	traces, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].State != serve.StateSealed || traces[0].Workload != "client-test" {
+		t.Fatalf("traces listing %+v", traces)
+	}
+
+	sum, err := c.Summary(ctx, "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != len(events) || len(sum.Processes) != 2 {
+		t.Fatalf("summary %+v, want %d events over 2 procs", sum.TraceInfo, len(events))
+	}
+
+	body, err := c.Analyze(ctx, "run1", serve.AnalyzeRequest{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rlscope.NewEngine(rlscope.WithWorkers(1)).Analyze(ctx, rlscope.FromDir(filepath.Join(store, "run1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offline bytes.Buffer
+	if err := report.NewResultAnalysis(rep.Meta, rep.Results, rep.Corrected).Encode(&offline); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, offline.Bytes()) {
+		t.Fatalf("client analysis diverges from offline engine:\nclient:\n%s\noffline:\n%s", body, offline.String())
+	}
+}
+
+// TestClientAppendChunkProtocol exercises the typed append path directly:
+// multipart delivery with a client-computed sidecar, idempotent retries,
+// and structured API errors with the server's stable codes.
+func TestClientAppendChunkProtocol(t *testing.T) {
+	c, _ := newLiveService(t)
+	ctx := context.Background()
+	events, meta := testTrace()
+	chunk, index, err := trace.EncodeEvents(events[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Multipart append with the sidecar attached.
+	resp, err := c.AppendChunk(ctx, "run2", 0, chunk, index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Chunks != 1 || resp.Duplicate {
+		t.Fatalf("first append %+v", resp)
+	}
+	// Idempotent retry of the same frame.
+	resp, err = c.AppendChunk(ctx, "run2", 0, chunk, index)
+	if err != nil || !resp.Duplicate {
+		t.Fatalf("retry: %+v, %v — want duplicate", resp, err)
+	}
+	// A sidecar that lies about the events is rejected with bad_chunk.
+	bogus := *index
+	bogus.Events++
+	var apiErr *client.APIError
+	if _, err := c.AppendChunk(ctx, "run2", 1, chunk, &bogus); !errors.As(err, &apiErr) || apiErr.Code != serve.ErrCodeBadChunk {
+		t.Fatalf("lying sidecar: %v, want APIError %s", err, serve.ErrCodeBadChunk)
+	}
+	// A gap maps to out_of_order_sequence.
+	if _, err := c.AppendChunk(ctx, "run2", 7, chunk, nil); !errors.As(err, &apiErr) || apiErr.Code != serve.ErrCodeOutOfOrderSeq {
+		t.Fatalf("gap: %v, want APIError %s", err, serve.ErrCodeOutOfOrderSeq)
+	}
+	// Appends after Seal are rejected.
+	if _, err := c.Seal(ctx, "run2", meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AppendChunk(ctx, "run2", 1, chunk, nil); !errors.As(err, &apiErr) || apiErr.Code != serve.ErrCodeTraceSealed {
+		t.Fatalf("post-seal append: %v, want APIError %s", err, serve.ErrCodeTraceSealed)
+	}
+	// Unknown trace ids surface the 404 code.
+	if _, err := c.Summary(ctx, "ghost"); !errors.As(err, &apiErr) || apiErr.Code != serve.ErrCodeUnknownTrace || apiErr.Status != 404 {
+		t.Fatalf("unknown trace: %v", err)
+	}
+	// Invalid ids are rejected before touching the store.
+	if _, err := c.Register(ctx, "a..b"); !errors.As(err, &apiErr) || apiErr.Code != serve.ErrCodeInvalidTraceID {
+		t.Fatalf("invalid id: %v", err)
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 		maxResident = flag.Int64("max-resident", 0, "streaming memory budget in bytes (0 = unbounded)")
 		materialize = flag.Bool("materialize", false, "force load-then-analyze instead of streaming")
 		jsonOut     = flag.Bool("json", false, "emit the analysis as the stable JSON document rlscope-serve serves")
+		resultOnly  = flag.Bool("result-only", false, "with -json: omit the run-descriptive stats block, matching the document live-ingested traces serve")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -69,6 +70,10 @@ func main() {
 	// interleaved text, so combining them would corrupt both outputs.
 	if *jsonOut && (*csv || *summary || *timeline || *tree || *phases) {
 		fmt.Fprintln(os.Stderr, "rlscope-analyze: -json cannot be combined with -csv/-summary/-timeline/-tree/-phases")
+		os.Exit(2)
+	}
+	if *resultOnly && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "rlscope-analyze: -result-only requires -json")
 		os.Exit(2)
 	}
 
@@ -123,8 +128,13 @@ func main() {
 	if *jsonOut {
 		// The same document rlscope-serve answers POST /analyze with:
 		// same construction, same encoder, byte-identical output for the
-		// same trace and options.
+		// same trace and options. -result-only drops the stats block,
+		// leaving the pure-function-of-content document the live-ingest
+		// path serves — the form CI compares incremental vs offline.
 		doc := report.NewAnalysis(meta, results, rep.Stats, rep.Corrected)
+		if *resultOnly {
+			doc = report.NewResultAnalysis(meta, results, rep.Corrected)
+		}
 		if err := doc.Encode(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "rlscope-analyze:", err)
 			os.Exit(1)

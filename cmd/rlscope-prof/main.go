@@ -5,17 +5,24 @@
 // Usage:
 //
 //	rlscope-prof -algo TD3 -env Walker2D -framework graph -steps 2000 -out /tmp/trace
+//	rlscope-prof -algo TD3 -env Walker2D -steps 2000 -serve http://localhost:8080 -trace-id run42
+//
+// With -serve, the trace is streamed chunk-by-chunk into a live
+// rlscope-serve store (POST /v1/traces/{id}/chunks) and sealed, instead of
+// (or in addition to) being written to a local -out directory.
 //
 // Frameworks: graph (stable-baselines), autograph (tf-agents),
 // eager-tf (tf-agents eager), eager-pytorch (ReAgent).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/client"
 	"repro/internal/backend"
 	"repro/internal/calib"
 	"repro/internal/overlap"
@@ -47,6 +54,8 @@ func main() {
 		steps     = flag.Int("steps", 2000, "environment steps to train for")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("out", "", "trace output directory (omit to skip writing)")
+		serveURL  = flag.String("serve", "", "rlscope-serve base URL to stream the trace to (e.g. http://localhost:8080)")
+		traceID   = flag.String("trace-id", "", "trace id to stream under (with -serve; default: the workload name)")
 		instrOff  = flag.Bool("uninstrumented", false, "disable all profiler book-keeping")
 		csv       = flag.Bool("csv", false, "emit the breakdown as CSV instead of a table")
 		validate  = flag.Bool("validate", false, "calibrate, then validate overhead correction on this workload")
@@ -89,6 +98,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "rlscope-prof: wrote %d events to %s\n", len(stats.Trace.Events), *out)
+	}
+	if *serveURL != "" {
+		// Live ingest: stream the trace chunk-by-chunk into a running
+		// rlscope-serve store and seal it — the same frames a local -out
+		// write produces, delivered over the typed client's network sink.
+		id := *traceID
+		if id == "" {
+			id = strings.ReplaceAll(spec.Name(), "/", "-")
+		}
+		c := client.New(*serveURL)
+		ctx := context.Background()
+		if _, err := c.Register(ctx, id); err != nil {
+			fatal(err)
+		}
+		w := trace.NewSinkWriter(c.Sink(ctx, id), 0)
+		w.Append(stats.Trace.Events...)
+		if err := w.Close(stats.Trace.Meta); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rlscope-prof: streamed %d events to %s as trace %q\n",
+			len(stats.Trace.Events), *serveURL, id)
 	}
 	res := overlap.Compute(stats.Trace.ProcEvents(0))
 	b := report.FromResult(spec.Name(), res, report.SortedOps(res))

@@ -11,14 +11,27 @@
 // cancel analyses nobody is waiting for; SIGINT/SIGTERM drains in-flight
 // requests before exiting.
 //
+// With -store DIR, the service is also a write path: profilers stream
+// sequence-numbered chunk frames into server-owned trace directories under
+// DIR (create-on-first-write, idempotent retries), and analysis of a live
+// trace is incremental — chunks are batched into analysis epochs and only
+// the (process, window) shards they touch are re-swept, so a report after
+// a new chunk costs O(chunk) instead of O(trace).
+//
 // Endpoints:
 //
 //	GET  /healthz                      service, cache, and budget health
-//	GET  /v1/traces                    registered traces (id, digest, size)
+//	GET  /v1/traces                    all traces (id, digest, size, state)
+//	POST /v1/traces                    open a live trace: {"id":"run42"}
 //	GET  /v1/traces/{id}/summary       sidecar summary: processes, extents, fork tree
 //	POST /v1/traces/{id}/analyze       run (or serve from cache) an analysis;
 //	                                   body: {"workers":N, "max_resident_bytes":N,
 //	                                          "correction":true, "procs":[...]}
+//	POST /v1/traces/{id}/chunks?seq=N  append one chunk frame to a live trace
+//	POST /v1/traces/{id}/seal          finalize a live trace with its run metadata
+//
+// Errors share the envelope {"error":{"code","message"}} with the stable
+// code vocabulary of DESIGN.md §9.
 //
 // The analyze response body is the stable report.Analysis document
 // `rlscope-analyze -json` prints: result fields are byte-identical for
@@ -29,7 +42,8 @@
 // Usage:
 //
 //	rlscope-serve -listen :8080 -trace quickstart=/tmp/trace [-trace NAME=DIR ...] \
-//	    [-cache-bytes N] [-max-workers N] [-calibration cal.json] [-drain-timeout 10s]
+//	    [-store /var/lib/rlscope/traces] [-cache-bytes N] [-max-workers N] \
+//	    [-calibration cal.json] [-drain-timeout 10s]
 package main
 
 import (
@@ -56,6 +70,7 @@ func main() {
 		maxWorkers = flag.Int("max-workers", 0, "global Engine worker budget shared across requests (0 = one per CPU)")
 		calPath    = flag.String("calibration", "", "calibration JSON enabling {\"correction\":true} requests")
 		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
+		storeDir   = flag.String("store", "", "trace store directory enabling live ingest (POST /v1/traces/{id}/chunks)")
 	)
 	var traceArgs []string
 	flag.Func("trace", "trace directory to register, as DIR or NAME=DIR (repeatable)", func(v string) error {
@@ -64,12 +79,12 @@ func main() {
 	})
 	flag.Parse()
 	traceArgs = append(traceArgs, flag.Args()...)
-	if len(traceArgs) == 0 {
-		fmt.Fprintln(os.Stderr, "rlscope-serve: at least one -trace DIR (or NAME=DIR) is required")
+	if len(traceArgs) == 0 && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "rlscope-serve: at least one -trace DIR (or NAME=DIR), or -store for live ingest, is required")
 		os.Exit(2)
 	}
 
-	cfg := serve.Config{CacheBytes: *cacheBytes, MaxWorkers: *maxWorkers}
+	cfg := serve.Config{CacheBytes: *cacheBytes, MaxWorkers: *maxWorkers, StoreDir: *storeDir}
 	if *calPath != "" {
 		data, err := os.ReadFile(*calPath)
 		if err != nil {

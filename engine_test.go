@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy wrappers (they must stay byte-identical to the Engine)
 package rlscope
 
 import (
@@ -44,19 +43,13 @@ func engineSources(t *testing.T, tr *Trace, dir string) map[string]func() Source
 
 // TestEngineSourceEquivalence is the tentpole acceptance property: for
 // randomized instrumented multi-process workload traces, Engine.Analyze is
-// byte-identical to the sequential oracle — and to every legacy entry point
-// — over all three sources × workers 1..8 × resident budgets.
+// byte-identical to the sequential oracle over all three sources ×
+// workers 1..8 × resident budgets.
 func TestEngineSourceEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		tr := randomWorkloadTrace(seed)
 		dir := writeWorkloadTrace(t, tr, 2048)
 		want := renderResults(sequentialOracle(tr))
-
-		// The legacy wrappers must agree with the oracle too — they are
-		// now thin Engine delegates.
-		if got := renderResults(Analyze(tr)); got != want {
-			t.Fatalf("seed %d: legacy Analyze diverges from sequential oracle", seed)
-		}
 		for name, mk := range engineSources(t, tr, dir) {
 			for workers := 1; workers <= 8; workers++ {
 				for _, budget := range []int64{0, 1, 8 << 10} {
@@ -77,23 +70,20 @@ func TestEngineSourceEquivalence(t *testing.T) {
 					}
 				}
 			}
-			// Legacy streaming wrappers against the same oracle.
+			// The stats surface against the same streaming run.
 			if name == "FromDir" {
-				got, stats, err := AnalyzeDirStats(dir, AnalysisOptions{Workers: 3, MaxResidentBytes: 4 << 10})
+				got, stats, err := engineDirResults(dir, WithWorkers(3), WithMaxResidentBytes(4<<10))
 				if err != nil {
-					t.Fatalf("seed %d: AnalyzeDirStats: %v", seed, err)
+					t.Fatalf("seed %d: FromDir with budget: %v", seed, err)
 				}
 				if renderResults(got) != want {
-					t.Fatalf("seed %d: legacy AnalyzeDirStats diverges from oracle", seed)
+					t.Fatalf("seed %d: budgeted streaming run diverges from oracle", seed)
 				}
 				if stats.Events != len(tr.Events) {
-					t.Fatalf("seed %d: AnalyzeDirStats streamed %d events, trace has %d",
+					t.Fatalf("seed %d: streaming run decoded %d events, trace has %d",
 						seed, stats.Events, len(tr.Events))
 				}
 			}
-		}
-		if got := renderResults(AnalyzeParallel(tr, AnalysisOptions{Workers: 5})); got != want {
-			t.Fatalf("seed %d: legacy AnalyzeParallel diverges from oracle", seed)
 		}
 	}
 }
@@ -266,7 +256,7 @@ func TestEngineWithProcessesCorrected(t *testing.T) {
 }
 
 // TestEngineWithProcesses asserts the process filter against per-process
-// oracles on every source, including the legacy AnalyzeProcess wrapper.
+// oracles on every source.
 func TestEngineWithProcesses(t *testing.T) {
 	tr := randomWorkloadTrace(5)
 	dir := writeWorkloadTrace(t, tr, 2048)
@@ -286,12 +276,9 @@ func TestEngineWithProcesses(t *testing.T) {
 			t.Fatalf("%s: filtered result diverges from per-process oracle", name)
 		}
 	}
-	if got := renderResults(map[ProcID]*Result{target: AnalyzeProcess(tr, target)}); got != want {
-		t.Fatal("legacy AnalyzeProcess diverges from per-process oracle")
-	}
-	// A process absent from the trace: empty breakdown, not nil.
-	if res := AnalyzeProcess(tr, 12345); res == nil || len(res.ByKey) != 0 {
-		t.Fatalf("AnalyzeProcess on an absent process = %+v, want empty breakdown", res)
+	// A process absent from the trace: no result row at all.
+	if results := engineResults(tr, WithWorkers(1), WithProcesses(12345)); len(results) != 0 {
+		t.Fatalf("filtering on an absent process = %+v, want no results", results)
 	}
 	// Filtered streaming skips chunks contributing only other processes.
 	rep, err := NewEngine(WithProcesses(target)).Analyze(context.Background(), FromDir(dir))

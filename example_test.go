@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 one example below deliberately documents the deprecated legacy wrappers
 package rlscope_test
 
 import (
@@ -230,12 +229,10 @@ func ExampleWithCorrection() {
 	// matches Correct-then-analyze: true
 }
 
-// ExampleAnalyzeParallel analyzes a multi-process trace through the legacy
-// free-function API.
-//
-// Deprecated: new code should configure an Engine (see ExampleEngine); the
-// legacy entry points are thin wrappers over it, kept for compatibility.
-func ExampleAnalyzeParallel() {
+// ExampleEngine_parallel analyzes a multi-process trace with a parallel
+// worker pool; results are byte-identical to the sequential run at any
+// pool size.
+func ExampleEngine_parallel() {
 	p := rlscope.New(rlscope.Options{Workload: "parallel-example", Seed: 7})
 	for w := 0; w < 4; w++ {
 		sess := p.NewProcess(fmt.Sprintf("worker%d", w), -1, 0)
@@ -249,9 +246,13 @@ func ExampleAnalyzeParallel() {
 	}
 	tr := p.MustTrace()
 
-	results := rlscope.AnalyzeParallel(tr, rlscope.AnalysisOptions{Workers: 4})
-	fmt.Println("processes analyzed:", len(results))
-	fmt.Println("worker0 mcts time:  ", results[0].OpTotal("mcts"))
+	rep, err := rlscope.NewEngine(rlscope.WithWorkers(4)).Analyze(
+		context.Background(), rlscope.FromTrace(tr))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("processes analyzed:", len(rep.Results))
+	fmt.Println("worker0 mcts time:  ", rep.Results[0].OpTotal("mcts"))
 	// Output:
 	// processes analyzed: 4
 	// worker0 mcts time:   5ms

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -77,7 +78,12 @@ func main() {
 		}
 		fmt.Printf("wrote %d events to %s\n", len(tr.Events), *out)
 	}
-	res := rlscope.AnalyzeProcess(tr, sess.Proc())
+	rep, err := rlscope.NewEngine(rlscope.WithWorkers(1), rlscope.WithProcesses(sess.Proc())).
+		Analyze(context.Background(), rlscope.FromTrace(tr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rep.Results[sess.Proc()]
 	b := report.FromResult("quickstart", res, report.SortedOps(res))
 	fmt.Print(report.Table("RL-Scope quickstart breakdown", []*report.Breakdown{b}))
 	fmt.Printf("\ntotal: %v, GPU-bound: %v (%.1f%%)\n",

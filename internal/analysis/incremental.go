@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// IncrementalStats counts what an Incremental analysis has done so far.
+// Shards is the load-bearing one: the acceptance criterion for live ingest
+// is that appending one chunk to an N-chunk trace recomputes only the
+// (proc, window) shards the chunk's events actually touch, and that is
+// asserted by watching this counter — not by timing.
+type IncrementalStats struct {
+	// Chunks and Events count what Apply has ingested.
+	Chunks, Events int
+	// Epochs counts Apply calls: each one is an analysis epoch batching
+	// every chunk that arrived since the previous epoch.
+	Epochs int
+	// Shards counts window sweeps performed, cumulatively. A Results call
+	// on a clean state adds zero; after an epoch it adds exactly the
+	// number of dirty windows.
+	Shards int
+	// Repartitions counts per-process window-partition rebuilds, triggered
+	// by the arrival of a new phase interval (or a process's first epoch).
+	// A rebuild marks every window of that process dirty.
+	Repartitions int
+	// Windows is the current total window count across processes.
+	Windows int
+}
+
+// incWindow is one (process, window) shard of the incremental state: the
+// cached sweep result for [lo, hi) plus a dirty bit set when an epoch routes
+// new events into the window.
+type incWindow struct {
+	lo, hi vclock.Time
+	dirty  bool
+	res    *overlap.Result // last sweep; nil while dirty or window empty
+}
+
+// incProc is the per-process incremental state. events holds every routed
+// event in arrival (chunk) order — the overlap sweep is input-order
+// invariant, so arrival order is as good as time order. phases holds the
+// KindPhase events seen so far; when a new phase interval arrives the
+// window partition derived from them is stale and must be rebuilt, which
+// dirties every window (a phase boundary can re-cut the whole timeline).
+type incProc struct {
+	events  []trace.Event
+	phases  []trace.Event
+	windows []*incWindow
+	stale   bool // partition must be rebuilt before the next sweep
+}
+
+// Incremental is a resumable analysis state for a growing trace: the
+// serve-side complement of RunStream. Where RunStream plans all (process,
+// window) shards up front from a complete directory's sidecars, Incremental
+// maintains the same partition live — chunks are applied in epochs, each
+// event is routed to the windows it overlaps (the same OverlapsWindow
+// predicate RunStream routes with), and only windows that received events
+// are re-swept on the next Results call. Everything downstream of routing is
+// shared with the batch engine: the same windowed sweep
+// (overlap.Sweeper.ComputeWindow) and the same commutative shard merge, so
+// Results on a fully-applied trace is identical to a fresh Engine run over
+// the sealed directory — the live-ingest equivalence the property tests pin
+// down.
+//
+// Incremental is not safe for concurrent use; the serve layer serializes
+// epochs and result reads per trace under its analysis lock.
+type Incremental struct {
+	procs map[trace.ProcID]*incProc
+	stats IncrementalStats
+}
+
+// NewIncremental returns an empty incremental analysis state.
+func NewIncremental() *Incremental {
+	return &Incremental{procs: map[trace.ProcID]*incProc{}}
+}
+
+// Apply ingests one epoch: every chunk that arrived since the last epoch,
+// in sequence order. Events are buffered per process and routed to the
+// windows they overlap, marking those windows dirty; a new phase interval
+// instead marks the whole process stale, deferring the re-cut to the next
+// Results call so a burst of phase events costs one repartition, not many.
+func (inc *Incremental) Apply(chunks [][]trace.Event) {
+	inc.stats.Epochs++
+	for _, events := range chunks {
+		inc.stats.Chunks++
+		for _, e := range events {
+			inc.stats.Events++
+			p := inc.procs[e.Proc]
+			if p == nil {
+				p = &incProc{stale: true}
+				inc.procs[e.Proc] = p
+			}
+			if e.Kind == trace.KindPhase {
+				p.phases = append(p.phases, e)
+				if e.End > e.Start {
+					// Only a closed phase interval participates in
+					// PhasePartition, so only one can move the cuts.
+					p.stale = true
+				}
+			}
+			p.events = append(p.events, e)
+			if !p.stale {
+				for _, w := range p.windows {
+					if trace.OverlapsWindow(e, w.lo, w.hi) {
+						w.dirty = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// Results brings every dirty shard up to date and returns the merged
+// per-process breakdowns — the same map a fresh Engine run over the applied
+// events produces. filter, when non-nil, restricts both the output and the
+// recomputation to the named processes (matching Options.Procs semantics);
+// windows of filtered-out processes stay dirty and are swept when next
+// asked for.
+func (inc *Incremental) Results(filter map[trace.ProcID]bool) map[trace.ProcID]*overlap.Result {
+	procs := make([]trace.ProcID, 0, len(inc.procs))
+	for p := range inc.procs {
+		if filter == nil || filter[p] {
+			procs = append(procs, p)
+		}
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+
+	sw := overlap.GetSweeper()
+	defer overlap.PutSweeper(sw)
+
+	var scratch []trace.Event
+	out := make(map[trace.ProcID]*overlap.Result, len(procs))
+	for _, pid := range procs {
+		p := inc.procs[pid]
+		if p.stale {
+			inc.repartition(p)
+		}
+		res := &overlap.Result{
+			ByKey:       map[overlap.Key]vclock.Duration{},
+			Transitions: map[overlap.TransitionKey]int{},
+		}
+		for _, w := range p.windows {
+			if w.dirty {
+				scratch = scratch[:0]
+				for _, e := range p.events {
+					if trace.OverlapsWindow(e, w.lo, w.hi) {
+						scratch = append(scratch, e)
+					}
+				}
+				w.res = nil
+				if len(scratch) > 0 {
+					w.res = sw.ComputeWindow(scratch, w.lo, w.hi)
+					inc.stats.Shards++
+				}
+				w.dirty = false
+			}
+			if w.res != nil {
+				mergeShard(res, w.res)
+			}
+		}
+		out[pid] = res
+	}
+	return out
+}
+
+// repartition re-cuts a process's timeline from its phase events, replacing
+// the window set and marking every window dirty. Cached window results
+// cannot be carried across a re-cut: a new phase boundary changes which
+// instants belong to which window.
+func (inc *Incremental) repartition(p *incProc) {
+	inc.stats.Windows -= len(p.windows)
+	p.windows = p.windows[:0]
+	for _, w := range trace.PhasePartition(p.phases) {
+		p.windows = append(p.windows, &incWindow{lo: w.Lo, hi: w.Hi, dirty: true})
+	}
+	inc.stats.Windows += len(p.windows)
+	inc.stats.Repartitions++
+	p.stale = false
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (inc *Incremental) Stats() IncrementalStats { return inc.stats }

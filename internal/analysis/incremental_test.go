@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// chunked splits events into n contiguous groups in slice order — the shape
+// of a chunked trace arriving over the wire.
+func chunked(events []trace.Event, n int) [][]trace.Event {
+	if n < 1 {
+		n = 1
+	}
+	per := (len(events) + n - 1) / n
+	var out [][]trace.Event
+	for len(events) > 0 {
+		k := per
+		if k > len(events) {
+			k = len(events)
+		}
+		out = append(out, events[:k])
+		events = events[k:]
+	}
+	return out
+}
+
+// TestIncrementalMatchesRun is the live-ingest equivalence property test:
+// for randomized adversarial traces (overlapping phases, boundary-spanning
+// events, phaseless processes) applied chunk-by-chunk across randomly-sized
+// epochs — with Results read between epochs, so cached shard results must
+// survive further appends — the final incremental result equals a fresh
+// batch Run over the whole trace.
+func TestIncrementalMatchesRun(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		want := dumpAll(Run(tr, Options{Workers: 1}))
+
+		inc := NewIncremental()
+		chunks := chunked(tr.Events, 1+rng.Intn(12))
+		for len(chunks) > 0 {
+			k := 1 + rng.Intn(len(chunks))
+			inc.Apply(chunks[:k])
+			chunks = chunks[k:]
+			if rng.Intn(2) == 0 {
+				inc.Results(nil) // interleaved reads must not corrupt later ones
+			}
+		}
+		if got := dumpAll(inc.Results(nil)); got != want {
+			t.Fatalf("seed %d: incremental result diverges from batch Run\ngot:\n%s\nwant:\n%s", seed, got, want)
+		}
+		// A quiescent state answers again without any further sweeps.
+		before := inc.Stats().Shards
+		if got := dumpAll(inc.Results(nil)); got != want {
+			t.Fatalf("seed %d: repeated read diverges", seed)
+		}
+		if after := inc.Stats().Shards; after != before {
+			t.Fatalf("seed %d: clean re-read swept %d shards", seed, after-before)
+		}
+	}
+}
+
+// TestIncrementalFilterMatchesRun checks Results' process filter: the
+// filtered map holds exactly the requested processes, with the same
+// per-process breakdowns as the unfiltered read, and filtered-out processes
+// are not swept on its behalf.
+func TestIncrementalFilterMatchesRun(t *testing.T) {
+	var (
+		tr  *trace.Trace
+		inc *Incremental
+		all map[trace.ProcID]*overlap.Result
+	)
+	for seed := int64(0); ; seed++ {
+		if seed == 32 {
+			t.Fatal("no seed under 32 produced a multi-process trace")
+		}
+		tr = randomTrace(rand.New(rand.NewSource(seed)))
+		inc = NewIncremental()
+		inc.Apply(chunked(tr.Events, 6))
+		if all = inc.Results(nil); len(all) >= 2 {
+			break
+		}
+	}
+	var pick trace.ProcID
+	for p := range all {
+		pick = p
+		break
+	}
+	inc2 := NewIncremental()
+	inc2.Apply(chunked(tr.Events, 6))
+	got := inc2.Results(map[trace.ProcID]bool{pick: true})
+	if len(got) != 1 {
+		t.Fatalf("filtered read returned %d processes, want 1", len(got))
+	}
+	if dump(got[pick]) != dump(all[pick]) {
+		t.Fatalf("filtered breakdown for proc %d diverges from unfiltered", pick)
+	}
+	if inc2.Stats().Shards >= inc.Stats().Shards {
+		t.Fatalf("filtered read swept %d shards, unfiltered %d — filter did not restrict recomputation",
+			inc2.Stats().Shards, inc.Stats().Shards)
+	}
+}
+
+// localityEvent is a helper for the shard-locality tests below.
+func cpuEvent(p trace.ProcID, lo, hi vclock.Time) trace.Event {
+	return trace.Event{Proc: p, Kind: trace.KindCPU, Cat: trace.CatPython, Start: lo, End: hi}
+}
+
+func phaseEvent(p trace.ProcID, name string, lo, hi vclock.Time) trace.Event {
+	return trace.Event{Proc: p, Kind: trace.KindPhase, Name: name, Start: lo, End: hi}
+}
+
+// TestIncrementalShardLocality is the acceptance criterion for live ingest,
+// asserted on counters rather than timing: appending one chunk to an
+// already-analyzed trace re-sweeps exactly the (process, window) shards the
+// chunk's events overlap — not the whole trace.
+func TestIncrementalShardLocality(t *testing.T) {
+	// Proc 0: three phases cutting the timeline at 0/1000/2000/3000, with
+	// events in each. Proc 1: phaseless, one full-timeline window.
+	base := []trace.Event{
+		phaseEvent(0, "warmup", 0, 1000),
+		phaseEvent(0, "training", 1000, 2000),
+		phaseEvent(0, "evaluation", 2000, 3000),
+		cpuEvent(0, 100, 200),
+		cpuEvent(0, 1100, 1200),
+		cpuEvent(0, 2100, 2200),
+		cpuEvent(1, 50, 2500),
+	}
+	inc := NewIncremental()
+	inc.Apply([][]trace.Event{base})
+	inc.Results(nil)
+	s0 := inc.Stats()
+	if s0.Repartitions != 2 { // one per process's first epoch
+		t.Fatalf("initial repartitions %d, want 2", s0.Repartitions)
+	}
+
+	// One new event wholly inside proc 0's "training" window: exactly one
+	// shard goes dirty, and the next read re-sweeps exactly that one.
+	inc.Apply([][]trace.Event{{cpuEvent(0, 1500, 1600)}})
+	inc.Results(nil)
+	s1 := inc.Stats()
+	if d := s1.Shards - s0.Shards; d != 1 {
+		t.Fatalf("single-window append re-swept %d shards, want 1", d)
+	}
+	if s1.Repartitions != s0.Repartitions {
+		t.Fatalf("append without new phases triggered a repartition")
+	}
+
+	// An event spanning the warmup/training boundary touches two windows.
+	inc.Apply([][]trace.Event{{cpuEvent(0, 900, 1100)}})
+	inc.Results(nil)
+	s2 := inc.Stats()
+	if d := s2.Shards - s1.Shards; d != 2 {
+		t.Fatalf("boundary-spanning append re-swept %d shards, want 2", d)
+	}
+
+	// Proc 1's append never touches proc 0's shards.
+	inc.Apply([][]trace.Event{{cpuEvent(1, 600, 700)}})
+	inc.Results(nil)
+	s3 := inc.Stats()
+	if d := s3.Shards - s2.Shards; d != 1 {
+		t.Fatalf("other-process append re-swept %d shards, want 1", d)
+	}
+
+	// A new phase interval re-cuts proc 0's timeline: every window of that
+	// process is dirtied (a repartition), proc 1 stays untouched.
+	inc.Apply([][]trace.Event{{phaseEvent(0, "cooldown", 3000, 4000)}})
+	inc.Results(nil)
+	s4 := inc.Stats()
+	if s4.Repartitions != s3.Repartitions+1 {
+		t.Fatalf("new phase did not repartition: %d, want %d", s4.Repartitions, s3.Repartitions+1)
+	}
+
+	// The incremental result still equals a batch run over everything.
+	tr := &trace.Trace{Events: append([]trace.Event{},
+		base[0], base[1], base[2], base[3], base[4], base[5], base[6],
+		cpuEvent(0, 1500, 1600), cpuEvent(0, 900, 1100), cpuEvent(1, 600, 700),
+		phaseEvent(0, "cooldown", 3000, 4000),
+	)}
+	if got, want := dumpAll(inc.Results(nil)), dumpAll(Run(tr, Options{Workers: 1})); got != want {
+		t.Fatalf("after locality sequence, incremental diverges from batch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

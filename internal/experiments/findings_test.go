@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/hypmetrics"
 	"repro/internal/hypothesis"
 )
 
@@ -39,7 +40,10 @@ func evaluateGrid(t *testing.T) *hypothesis.Document {
 		}
 		// Timing hypotheses measure host wall-clock — meaningless under
 		// a loaded test runner — and never gate; the CLI covers them.
-		gridEval.doc, gridEval.err = hypothesis.NewEvaluator(experiments.Metrics).
+		// hypmetrics is the full metric source (this external test
+		// package may import it even though it depends on experiments),
+		// so serve-side bundles like "ingest" evaluate here too.
+		gridEval.doc, gridEval.err = hypothesis.NewEvaluator(hypmetrics.Metrics).
 			Evaluate(grid, hypothesis.Options{Timing: false})
 	})
 	if gridEval.err != nil {

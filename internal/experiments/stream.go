@@ -23,7 +23,7 @@ type StreamReplayResult struct {
 	// Stats is the streaming engine's own account of the run.
 	Stats analysis.StreamStats
 	// Identical reports whether the streamed breakdown matched the
-	// materialized AnalyzeParallel breakdown exactly.
+	// materialized engine breakdown exactly.
 	Identical bool
 	// MaterializedBytes estimates the resident footprint of the
 	// load-then-analyze path: every decoded event at once.

@@ -1,22 +1,27 @@
 // Package hypmetrics composes the full metric source for the hypothesis
-// grid: every bundle from internal/experiments plus the servecache timing
-// bundle, which must live outside internal/experiments because
+// grid: every bundle from internal/experiments plus the servecache and
+// ingest bundles, which must live outside internal/experiments because
 // internal/serve depends on the root rlscope package, whose tests import
-// the experiments package — routing servecache through experiments would
-// close an import cycle.
+// the experiments package — routing them through experiments would close
+// an import cycle.
 package hypmetrics
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	rlscope "repro"
+	"repro/client"
 	"repro/internal/backend"
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -24,13 +29,16 @@ import (
 
 // Experiments lists every bundle id Metrics accepts.
 func Experiments() []string {
-	return append(append([]string{}, experiments.MetricExperiments...), "servecache")
+	return append(append([]string{}, experiments.MetricExperiments...), "servecache", "ingest")
 }
 
 // Metrics is the hypothesis.Source backing the committed grid.
 func Metrics(ctx context.Context, experiment string, steps int, seed int64) (map[string]float64, error) {
-	if experiment == "servecache" {
+	switch experiment {
+	case "servecache":
 		return serveCacheMetrics(ctx, steps, seed)
+	case "ingest":
+		return ingestMetrics(ctx, steps, seed)
 	}
 	return experiments.Metrics(ctx, experiment, steps, seed)
 }
@@ -125,5 +133,98 @@ func serveCacheMetrics(ctx context.Context, steps int, seed int64) (map[string]f
 	}
 	return map[string]float64{
 		"miss_over_hit": missBest.Seconds() / hitBest.Seconds(),
+	}, nil
+}
+
+// ingestMetrics checks PR 7's determinism claim end to end over real HTTP:
+// a trace streamed chunk-by-chunk through the typed client — with analyses
+// interleaved mid-stream so the resident incremental state absorbs multiple
+// epochs — seals to a directory whose digest matches the server's running
+// digest, and the live analysis document is byte-identical to a fresh
+// offline Engine run over that sealed directory. Counter-based, so it holds
+// under any scheduler: a deterministic bundle.
+func ingestMetrics(ctx context.Context, steps int, seed int64) (map[string]float64, error) {
+	if steps <= 0 {
+		steps = 200
+	}
+	stats, err := workloads.Run(workloads.Spec{
+		Algo: "DDPG", Env: "Walker2D", Model: backend.Graph,
+		TotalSteps: steps, Seed: seed,
+	}, trace.Uninstrumented())
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: ingest: %w", err)
+	}
+	store, err := os.MkdirTemp("", "rlscope-hyp-ingest-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(store)
+	s := serve.NewServer(serve.Config{StoreDir: store})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	const id = "live"
+	if _, err := c.Register(ctx, id); err != nil {
+		return nil, fmt.Errorf("hypmetrics: ingest: %w", err)
+	}
+	events := stats.Trace.Events
+	const frames = 8
+	per := (len(events) + frames - 1) / frames
+	for seq := 0; seq*per < len(events); seq++ {
+		hi := (seq + 1) * per
+		if hi > len(events) {
+			hi = len(events)
+		}
+		chunk, ix, err := trace.EncodeEvents(events[seq*per : hi])
+		if err != nil {
+			return nil, fmt.Errorf("hypmetrics: ingest: %w", err)
+		}
+		if _, err := c.AppendChunk(ctx, id, seq, chunk, ix); err != nil {
+			return nil, fmt.Errorf("hypmetrics: ingest: append %d: %w", seq, err)
+		}
+		// Analyze mid-stream so the appends land as separate epochs.
+		if seq == 2 {
+			if _, err := c.Analyze(ctx, id, serve.AnalyzeRequest{Workers: 1}); err != nil {
+				return nil, fmt.Errorf("hypmetrics: ingest: mid-stream analyze: %w", err)
+			}
+		}
+	}
+	sealed, err := c.Seal(ctx, id, stats.Trace.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: ingest: %w", err)
+	}
+	live, err := c.Analyze(ctx, id, serve.AnalyzeRequest{Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: ingest: %w", err)
+	}
+
+	dir := filepath.Join(store, id)
+	onDisk, err := trace.DirDigest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: ingest: %w", err)
+	}
+	rep, err := rlscope.NewEngine(rlscope.WithWorkers(1)).Analyze(ctx, rlscope.FromDir(dir))
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: ingest: offline engine: %w", err)
+	}
+	var offline bytes.Buffer
+	if err := report.NewResultAnalysis(rep.Meta, rep.Results, rep.Corrected).Encode(&offline); err != nil {
+		return nil, fmt.Errorf("hypmetrics: ingest: %w", err)
+	}
+
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	incStats, _ := s.IncrementalStats(id)
+	return map[string]float64{
+		"byte_identical": b2f(bytes.Equal(live, offline.Bytes())),
+		"digest_match":   b2f(sealed.Digest == onDisk),
+		"engine_runs":    float64(s.EngineRuns()),
+		"multi_epoch":    b2f(incStats.Epochs >= 2),
 	}, nil
 }

@@ -172,6 +172,21 @@ func (p *Profiler) WriteTo(dir string) error {
 	return w.Close(t.Meta)
 }
 
+// WriteToSink persists the run's trace through an arbitrary chunk sink —
+// the same chunked delivery as WriteTo, but with the destination abstracted
+// so a workload can stream its trace over HTTP into a live rlscope-serve
+// store (client.Sink) instead of writing a local directory. Sessions must
+// be closed first.
+func (p *Profiler) WriteToSink(sink trace.Sink) error {
+	t, err := p.Trace()
+	if err != nil {
+		return err
+	}
+	w := trace.NewSinkWriter(sink, 0)
+	w.Append(t.Events...)
+	return w.Close(t.Meta)
+}
+
 // OverheadCounts sums book-keeping occurrence counts across sessions —
 // the denominators for delta calibration.
 func (p *Profiler) OverheadCounts() map[trace.OverheadKind]int {

@@ -24,12 +24,16 @@ import (
 // result: its scheduling fields (shards, evictions, peak residency) depend
 // on worker interleaving and are only reproducible at Workers:1. Every
 // other field is byte-identical across worker counts and memory budgets.
+// Documents that do not come from one batch engine run — live-ingest
+// incremental analyses, `rlscope-analyze -result-only` — omit the block
+// entirely (Stats nil), leaving a document that is a pure function of the
+// trace content and the analysis options.
 type Analysis struct {
 	Workload  string             `json:"workload"`
 	Config    trace.FeatureFlags `json:"config"`
 	Corrected bool               `json:"corrected"`
 	Processes []ProcessJSON      `json:"processes"`
-	Stats     StreamStatsJSON    `json:"stats"`
+	Stats     *StreamStatsJSON   `json:"stats,omitempty"`
 }
 
 // ProcessJSON is one process's slice of the document. Parent encodes the
@@ -135,6 +139,18 @@ func TransitionsToJSON(rows []TransitionRow) []TransitionRowJSON {
 // ProcessJSON per result, ascending by process id, operations in SortedOps
 // order, transitions included only for operations with a nonzero count.
 func NewAnalysis(meta trace.Meta, results map[trace.ProcID]*overlap.Result, stats analysis.StreamStats, corrected bool) *Analysis {
+	a := NewResultAnalysis(meta, results, corrected)
+	sj := StatsJSON(stats)
+	a.Stats = &sj
+	return a
+}
+
+// NewResultAnalysis assembles the result-only document: NewAnalysis without
+// the run-descriptive Stats block. This is the form whose bytes depend only
+// on trace content and options — what the live-ingest incremental path
+// serves and what `rlscope-analyze -result-only` prints, so the two can be
+// compared byte-for-byte.
+func NewResultAnalysis(meta trace.Meta, results map[trace.ProcID]*overlap.Result, corrected bool) *Analysis {
 	procs := make([]trace.ProcID, 0, len(results))
 	for p := range results {
 		procs = append(procs, p)
@@ -145,7 +161,6 @@ func NewAnalysis(meta trace.Meta, results map[trace.ProcID]*overlap.Result, stat
 		Config:    meta.Config,
 		Corrected: corrected,
 		Processes: make([]ProcessJSON, 0, len(procs)),
-		Stats:     StatsJSON(stats),
 	}
 	for _, p := range procs {
 		res := results[p]

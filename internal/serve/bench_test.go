@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // The serving hot paths, gated in CI: a cache hit must answer from stored
@@ -43,6 +47,71 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	b.StopTimer()
 	if runs := s.EngineRuns(); runs != 1 {
 		b.Fatalf("cache hits performed engine work: %d runs for %d requests", runs, b.N+1)
+	}
+}
+
+// BenchmarkIncrementalAppend measures the live-ingest steady state: one
+// chunk append plus the analyze that absorbs it as an epoch, against a
+// trace that already holds many chunks. This is the path whose cost must
+// stay O(chunk) — the gate watches it alongside the batch cache paths, and
+// the closing counter check proves no iteration fell back to a batch
+// Engine run.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	s := NewServer(Config{StoreDir: b.TempDir()})
+	b.Cleanup(s.Close)
+	h := s.Handler()
+
+	tr := quickstartTrace(b, 100)
+	const perChunk = 64
+	post := func(seq int, chunk []byte) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", fmt.Sprintf("/v1/traces/bench/chunks?seq=%d", seq), bytes.NewReader(chunk))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("append %d: %d %s", seq, rec.Code, rec.Body)
+		}
+	}
+	analyze := func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/traces/bench/analyze", strings.NewReader(benchAnalyzeBody))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("analyze: %d %s", rec.Code, rec.Body)
+		}
+	}
+
+	seq := 0
+	for lo := 0; lo < len(tr.Events); lo += perChunk {
+		hi := lo + perChunk
+		if hi > len(tr.Events) {
+			hi = len(tr.Events)
+		}
+		chunk, _, err := trace.EncodeEvents(tr.Events[lo:hi])
+		if err != nil {
+			b.Fatal(err)
+		}
+		post(seq, chunk)
+		seq++
+	}
+	analyze() // absorb the base trace so iterations measure the increment
+
+	// Every iteration appends the same (re-sequenced) frame: a fresh chunk
+	// of real events landing on an already-analyzed trace.
+	iterChunk, _, err := trace.EncodeEvents(tr.Events[:perChunk])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(iterChunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(seq, iterChunk)
+		seq++
+		analyze()
+	}
+	b.StopTimer()
+	if runs := s.EngineRuns(); runs != 0 {
+		b.Fatalf("incremental appends fell back to %d batch engine runs", runs)
 	}
 }
 

@@ -1,17 +1,22 @@
 // Package serve implements rlscope-serve: a long-running HTTP/JSON service
-// answering RL-Scope analysis queries over a repository of registered trace
-// directories. It is the step from one-shot CLI analysis to shared
-// infrastructure: reports are cached by content — the trace directory's
-// DirDigest plus the canonicalized analysis options — in a bounded LRU, so
-// repeated queries cost a map lookup; concurrent identical queries collapse
-// into one Engine run via singleflight; and a global worker budget bounds
-// the total Engine parallelism the service spends at once, however many
-// clients are connected.
+// answering RL-Scope analysis queries over a repository of trace
+// directories — registered read-only (AddDir) or streamed in live over
+// POST /v1/traces/{id}/chunks (see incremental.go). It is the step from
+// one-shot CLI analysis to shared infrastructure: reports are cached by
+// content — the trace directory's DirDigest plus the canonicalized
+// analysis options — in a bounded LRU, so repeated queries cost a map
+// lookup; concurrent identical queries collapse into one Engine run via
+// singleflight; a global worker budget bounds the total Engine parallelism
+// the service spends at once, however many clients are connected; and live
+// traces are analyzed incrementally, so a report after a new chunk costs
+// O(chunk) instead of O(trace).
 //
 // The response body of POST /analyze is the report.Analysis document
 // `rlscope-analyze -json` prints — the CLI and the service are two front
 // ends to one encoding, byte-identical at workers:1 (see the Analysis
-// type's determinism contract for the stats caveat above that).
+// type's determinism contract for the stats caveat above that). Errors on
+// every /v1 endpoint share one envelope, {"error":{"code","message"}},
+// with the stable code vocabulary tabulated in DESIGN.md §9.
 package serve
 
 import (
@@ -49,6 +54,10 @@ type Config struct {
 	// analyses ({"correction": true}); without it such requests fail
 	// with 400.
 	Calibration *calib.Calibration
+	// StoreDir, when set, enables live ingest: POST /v1/traces/{id}/chunks
+	// creates trace directories under it on first write. Empty disables
+	// the write path (ingest requests fail with 403 ingest_disabled).
+	StoreDir string
 }
 
 // DefaultCacheBytes is the report-cache budget selected by Config.CacheBytes <= 0.
@@ -63,9 +72,11 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
-	mu     sync.RWMutex
-	traces map[string]*traceEntry
-	ids    []string // registration order
+	mu      sync.RWMutex
+	traces  map[string]*traceEntry
+	ids     []string // registration order
+	lives   map[string]*liveTrace
+	liveIDs []string // first-write order
 
 	cache   *reportCache
 	flights *flightGroup
@@ -102,6 +113,10 @@ type TraceInfo struct {
 	Chunks   int    `json:"chunks"`
 	Events   int    `json:"events"`
 	Procs    int    `json:"procs"`
+	// State is "sealed" for finalized traces (every registered directory,
+	// and live traces after /seal) and "open" for live traces still
+	// accepting chunks.
+	State string `json:"state"`
 }
 
 // TraceSummary is the sidecar-derived quick look at one trace
@@ -156,6 +171,7 @@ func NewServer(cfg Config) *Server {
 		baseCtx: ctx,
 		stop:    cancel,
 		traces:  map[string]*traceEntry{},
+		lives:   map[string]*liveTrace{},
 		cache:   newReportCache(cfg.CacheBytes),
 		flights: newFlightGroup(ctx),
 		budget:  newWorkerBudget(cfg.MaxWorkers),
@@ -186,6 +202,9 @@ func (s *Server) AddDir(id, dir string) (TraceInfo, error) {
 	if _, ok := s.traces[id]; ok {
 		return TraceInfo{}, fmt.Errorf("serve: trace id %q already registered", id)
 	}
+	if _, ok := s.lives[id]; ok {
+		return TraceInfo{}, fmt.Errorf("serve: trace id %q already exists as a live trace", id)
+	}
 	s.traces[id] = entry
 	s.ids = append(s.ids, id)
 	return entry.info, nil
@@ -203,19 +222,27 @@ func newTraceEntry(id, dir string) (*traceEntry, error) {
 		return nil, err
 	}
 	meta := r.Meta()
-	summary, err := buildSummary(r, meta)
-	if err != nil {
-		return nil, err
+	indexes := make([]*trace.ChunkIndex, r.NumChunks())
+	for i := range indexes {
+		// A missing sidecar falls back to a one-off chunk decode inside
+		// Index, so pre-sidecar directories still register.
+		if indexes[i], err = r.Index(i); err != nil {
+			return nil, err
+		}
 	}
+	summary := buildSummary(indexes, meta)
 	summary.ID = id
 	summary.Digest = digest
 	summary.Workload = meta.Workload
+	summary.State = StateSealed
 	return &traceEntry{id: id, info: summary.TraceInfo, dir: dir, meta: meta, summary: summary}, nil
 }
 
-// buildSummary derives the trace summary from sidecar indexes alone (a
-// missing sidecar falls back to a one-off chunk decode inside Index).
-func buildSummary(r *trace.Reader, meta trace.Meta) (*TraceSummary, error) {
+// buildSummary derives a trace summary from sidecar indexes alone — no
+// chunk is decoded. Both registration (all indexes of a complete
+// directory) and the live-ingest summary endpoint (the indexes landed so
+// far) feed it; the caller fills the TraceInfo identity fields it knows.
+func buildSummary(indexes []*trace.ChunkIndex, meta trace.Meta) *TraceSummary {
 	type span struct {
 		events   int
 		min, max int64
@@ -223,11 +250,7 @@ func buildSummary(r *trace.Reader, meta trace.Meta) (*TraceSummary, error) {
 	spans := map[trace.ProcID]*span{}
 	phaseNames := map[string]bool{}
 	totalEvents := 0
-	for i := 0; i < r.NumChunks(); i++ {
-		ix, err := r.Index(i)
-		if err != nil {
-			return nil, err
-		}
+	for _, ix := range indexes {
 		totalEvents += ix.Events
 		for p, sp := range ix.Procs {
 			agg, ok := spans[p]
@@ -263,7 +286,7 @@ func buildSummary(r *trace.Reader, meta trace.Meta) (*TraceSummary, error) {
 	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
 
 	sum := &TraceSummary{
-		TraceInfo: TraceInfo{Chunks: r.NumChunks(), Events: totalEvents, Procs: len(procs)},
+		TraceInfo: TraceInfo{Chunks: len(indexes), Events: totalEvents, Procs: len(procs)},
 		Config:    meta.Config,
 		Tree:      report.TreeJSON(meta),
 	}
@@ -283,7 +306,7 @@ func buildSummary(r *trace.Reader, meta trace.Meta) (*TraceSummary, error) {
 		sum.Phases = append(sum.Phases, name)
 	}
 	sort.Strings(sum.Phases)
-	return sum, nil
+	return sum
 }
 
 func (s *Server) lookup(id string) *traceEntry {
@@ -297,8 +320,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("POST /v1/traces", s.handleCreateTrace)
 	mux.HandleFunc("GET /v1/traces/{id}/summary", s.handleSummary)
 	mux.HandleFunc("POST /v1/traces/{id}/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/traces/{id}/chunks", s.handleAppendChunk)
+	mux.HandleFunc("POST /v1/traces/{id}/seal", s.handleSeal)
 	return mux
 }
 
@@ -317,7 +343,7 @@ type workerHealth struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	n := len(s.ids)
+	n := len(s.ids) + len(s.liveIDs)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:     "ok",
@@ -330,20 +356,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	infos := make([]TraceInfo, 0, len(s.ids))
+	infos := make([]TraceInfo, 0, len(s.ids)+len(s.liveIDs))
 	for _, id := range s.ids {
 		infos = append(infos, s.traces[id].info)
 	}
+	lives := make([]*liveTrace, 0, len(s.liveIDs))
+	for _, id := range s.liveIDs {
+		lives = append(lives, s.lives[id])
+	}
 	s.mu.RUnlock()
+	// Live rows are snapshotted outside the registry lock: each one takes
+	// its trace's own ingest lock, which an in-flight append may hold.
+	for _, lt := range lives {
+		infos = append(infos, lt.liveInfo())
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Traces []TraceInfo `json:"traces"`
 	}{infos})
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	entry := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	entry := s.lookup(id)
 	if entry == nil {
-		writeError(w, http.StatusNotFound, "unknown trace id")
+		if lt := s.liveLookup(id); lt != nil {
+			s.handleLiveSummary(w, lt)
+			return
+		}
+		writeError(w, http.StatusNotFound, ErrCodeUnknownTrace, "unknown trace id")
 		return
 	}
 	writeJSON(w, http.StatusOK, entry.summary)
@@ -409,21 +449,29 @@ func cacheKey(digest string, c canonical) string {
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	entry := s.lookup(r.PathValue("id"))
+	id := r.PathValue("id")
+	entry := s.lookup(id)
+	var live *liveTrace
 	if entry == nil {
-		writeError(w, http.StatusNotFound, "unknown trace id")
-		return
+		if live = s.liveLookup(id); live == nil {
+			writeError(w, http.StatusNotFound, ErrCodeUnknownTrace, "unknown trace id")
+			return
+		}
 	}
 	var req AnalyzeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	// io.EOF means an empty body — legal, meaning "all defaults".
 	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, "bad analyze request: "+err.Error())
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad analyze request: "+err.Error())
+		return
+	}
+	if live != nil {
+		s.analyzeLive(w, r, live, req)
 		return
 	}
 	if req.Correction && s.cfg.Calibration == nil {
-		writeError(w, http.StatusBadRequest, "correction requested but the server has no calibration loaded (start rlscope-serve with -calibration)")
+		writeError(w, http.StatusBadRequest, ErrCodeNoCalibration, "correction requested but the server has no calibration loaded (start rlscope-serve with -calibration)")
 		return
 	}
 	c := s.canonicalize(req)
@@ -502,10 +550,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusServiceUnavailable, "analysis aborted: "+err.Error())
+			writeError(w, http.StatusServiceUnavailable, ErrCodeAnalysisAborted, "analysis aborted: "+err.Error())
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "analysis failed: "+err.Error())
+		writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed, "analysis failed: "+err.Error())
 		return
 	}
 	if shared {
@@ -532,8 +580,49 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, struct {
-		Error string `json:"error"`
-	}{msg})
+// Stable machine-readable error codes. Every /v1 error body is the
+// envelope {"error":{"code","message"}}; code is part of the API contract
+// (clients branch on it — see client.APIError), message is human-oriented
+// and free to change. The full table lives in DESIGN.md §9.
+const (
+	ErrCodeUnknownTrace          = "unknown_trace"
+	ErrCodeInvalidTraceID        = "invalid_trace_id"
+	ErrCodeBadRequest            = "bad_request"
+	ErrCodeNoCalibration         = "no_calibration"
+	ErrCodeAnalysisAborted       = "analysis_aborted"
+	ErrCodeAnalysisFailed        = "analysis_failed"
+	ErrCodeOutOfOrderSeq         = "out_of_order_sequence"
+	ErrCodeChunkConflict         = "chunk_conflict"
+	ErrCodeTraceSealed           = "trace_sealed"
+	ErrCodeTraceExists           = "trace_exists"
+	ErrCodeBadChunk              = "bad_chunk"
+	ErrCodeIngestDisabled        = "ingest_disabled"
+	ErrCodeCorrectionUnsupported = "correction_unsupported"
+)
+
+// ErrorEnvelope is the wire form of every /v1 error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the envelope's payload: a stable code plus a human message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError carries an error through handler helpers with its HTTP status
+// and envelope code attached.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	writeError(w, e.status, e.code, e.msg)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
 }

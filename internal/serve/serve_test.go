@@ -147,7 +147,8 @@ func TestTracesGolden(t *testing.T) {
       "workload": "quickstart",
       "chunks": %d,
       "events": %d,
-      "procs": 1
+      "procs": 1,
+      "state": "sealed"
     }
   ]
 }

@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Sink is the destination of a chunked trace write: a sequence of encoded
+// chunks (with their sidecar indexes) finalized by run metadata. DirSink
+// lands chunks in a local directory — the layout Writer has always
+// produced — while a network sink (see the client package) streams the
+// same frames to a remote rlscope-serve trace store, so a workload can
+// profile straight into shared infrastructure without a local trace dir.
+//
+// Chunks carry explicit sequence numbers starting at 0. A Sink must apply
+// chunk seq before chunk seq+1 and must reject gaps; whether it tolerates
+// replays of already-applied chunks (idempotent retries) is up to the
+// implementation — DirSink does, a requirement for at-least-once delivery
+// over a network.
+type Sink interface {
+	// AppendChunk applies the encoded chunk with the given sequence
+	// number. index is the chunk's sidecar index, always derived from the
+	// same events the chunk encodes.
+	AppendChunk(seq int, chunk []byte, index *ChunkIndex) error
+	// Seal finalizes the trace with its run metadata. No appends may
+	// follow a successful Seal.
+	Seal(meta Meta) error
+}
+
+// ErrSinkSealed is returned by appends to (or a second Seal of) an
+// already-sealed sink.
+var ErrSinkSealed = errors.New("trace: sink already sealed")
+
+// SeqError reports an out-of-order chunk append: Seq arrived while the
+// sink still expects Next. Retrying an already-applied sequence is not a
+// SeqError (that path is idempotent); only a gap — a chunk from the future
+// — is.
+type SeqError struct {
+	// Seq is the offered sequence number; Next the one the sink expects.
+	Seq, Next int
+}
+
+func (e *SeqError) Error() string {
+	return fmt.Sprintf("trace: chunk seq %d out of order (next expected %d)", e.Seq, e.Next)
+}
+
+// ConflictError reports a replayed chunk whose content differs from the
+// bytes originally applied under the same sequence number — a retry must
+// resend the identical frame, anything else is a protocol violation.
+type ConflictError struct {
+	Seq int
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("trace: chunk seq %d replayed with different content", e.Seq)
+}
+
+// chunkRecord remembers what was applied under one sequence number, so
+// replays can be verified byte-for-byte without re-reading the files.
+type chunkRecord struct {
+	chunkSum   [sha256.Size]byte
+	sidecarSum [sha256.Size]byte
+}
+
+// DirSink lands a chunked trace in a directory, one .rlstrace chunk plus
+// one .rlsidx sidecar per append and a meta.json at Seal — exactly the
+// files, names, and bytes Writer produces, so a trace streamed through a
+// DirSink is byte-identical to one written locally by the same workload.
+//
+// DirSink is the server side of live trace ingest: appends are sequence-
+// checked (a gap is a *SeqError), idempotent (replaying an applied
+// sequence with identical content is a no-op, with different content a
+// *ConflictError), and folded into a running content digest with the same
+// framing as DirDigest — so the digest of the growing directory is always
+// available in O(1), and after Seal it equals DirDigest(dir) exactly.
+//
+// DirSink methods are safe for concurrent use.
+type DirSink struct {
+	dir string
+
+	mu      sync.Mutex
+	next    int // next expected sequence number
+	applied []chunkRecord
+	digest  hash.Hash // running DirDigest-framed hash over sidecar+chunk pairs
+	sealed  bool
+	final   string // digest fixed at Seal
+}
+
+// NewDirSink creates dir (if needed) and returns a sink writing a fresh
+// trace into it. The directory must not already contain trace files: a
+// server-owned trace store never overwrites, it rejects (callers wanting
+// Writer's historical overwrite semantics go through NewWriter, which
+// clears stale trace files first).
+func NewDirSink(dir string) (*DirSink, error) {
+	return newDirSink(dir, false)
+}
+
+func newDirSink(dir string, overwrite bool) (*DirSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: creating trace dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading trace dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if name != metaFileName && !strings.HasSuffix(name, chunkSuffix) && !strings.HasSuffix(name, sidecarSuffix) {
+			continue
+		}
+		if !overwrite {
+			return nil, fmt.Errorf("trace: dir %s already contains trace file %s", dir, name)
+		}
+		// Overwrite mode: clear stale trace files so a shorter rewrite
+		// cannot leave higher-numbered chunks of a previous trace behind.
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("trace: clearing stale trace file: %w", err)
+		}
+	}
+	return &DirSink{dir: dir, digest: sha256.New()}, nil
+}
+
+// Dir returns the directory the sink writes into.
+func (s *DirSink) Dir() string { return s.dir }
+
+// AppendChunk implements Sink: it marshals the index to its sidecar form
+// and applies both frames. Replays of an already-applied sequence are
+// treated as successful no-ops when the content matches.
+func (s *DirSink) AppendChunk(seq int, chunk []byte, index *ChunkIndex) error {
+	sidecar, err := json.Marshal(index)
+	if err != nil {
+		return fmt.Errorf("trace: encoding sidecar index: %w", err)
+	}
+	_, err = s.Append(seq, chunk, sidecar)
+	return err
+}
+
+// Append applies one encoded chunk and its sidecar bytes under the given
+// sequence number. It reports dup = true (and no error) when the sequence
+// was already applied with identical content — the idempotent-retry path.
+// A gap in the sequence is a *SeqError, a content-diverging replay a
+// *ConflictError, and an append after Seal is ErrSinkSealed.
+func (s *DirSink) Append(seq int, chunk, sidecar []byte) (dup bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return false, ErrSinkSealed
+	}
+	if seq < 0 || seq > s.next {
+		return false, &SeqError{Seq: seq, Next: s.next}
+	}
+	if seq < s.next {
+		rec := s.applied[seq]
+		if sha256.Sum256(chunk) != rec.chunkSum || sha256.Sum256(sidecar) != rec.sidecarSum {
+			return false, &ConflictError{Seq: seq}
+		}
+		return true, nil
+	}
+	chunkName := fmt.Sprintf(chunkFilePattern, seq)
+	if err := os.WriteFile(filepath.Join(s.dir, chunkName), chunk, 0o644); err != nil {
+		return false, fmt.Errorf("trace: writing chunk: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, sidecarPath(chunkName)), sidecar, 0o644); err != nil {
+		return false, fmt.Errorf("trace: writing sidecar: %w", err)
+	}
+	// Fold the pair into the running digest in DirDigest's sorted-name
+	// order: for equal sequence numbers the sidecar name sorts before the
+	// chunk name (".rlsidx" < ".rlstrace"), every chunk pair sorts before
+	// any later pair, and "meta.json" sorts after all of them — so
+	// appending frames in arrival order reproduces the sorted walk.
+	digestFile(s.digest, sidecarPath(chunkName), sidecar)
+	digestFile(s.digest, chunkName, chunk)
+	s.applied = append(s.applied, chunkRecord{
+		chunkSum:   sha256.Sum256(chunk),
+		sidecarSum: sha256.Sum256(sidecar),
+	})
+	s.next++
+	return false, nil
+}
+
+// digestFile frames one file into h exactly as DirDigest does.
+func digestFile(h hash.Hash, name string, content []byte) {
+	fmt.Fprintf(h, "%s\x00%d\x00", name, len(content))
+	h.Write(content)
+}
+
+// Seal writes the run metadata and fixes the final digest. Sealing an
+// already-sealed sink is ErrSinkSealed; callers wanting idempotent seals
+// compare metadata themselves before retrying.
+func (s *DirSink) Seal(meta Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return ErrSinkSealed
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: encoding metadata: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, metaFileName), data, 0o644); err != nil {
+		return fmt.Errorf("trace: writing metadata: %w", err)
+	}
+	digestFile(s.digest, metaFileName, data)
+	s.final = hex.EncodeToString(s.digest.Sum(nil))
+	s.sealed = true
+	return nil
+}
+
+// Chunks reports how many chunks have been applied.
+func (s *DirSink) Chunks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Sealed reports whether Seal has completed.
+func (s *DirSink) Sealed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealed
+}
+
+// Digest returns the content digest of the directory as it stands: the
+// same quantity DirDigest(dir) computes, maintained incrementally so a
+// growing trace can be content-addressed without rehashing the directory
+// on every append. After Seal it is the trace's final digest. An empty
+// sink (no chunks, not sealed) has no content to address and returns "".
+func (s *DirSink) Digest() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return s.final
+	}
+	if s.next == 0 {
+		return ""
+	}
+	// Snapshot the running hash via its binary state so Sum never
+	// perturbs the accumulating instance across appends.
+	m, ok := s.digest.(encoding.BinaryMarshaler)
+	if !ok {
+		return "" // cannot happen: sha256 implements BinaryMarshaler
+	}
+	state, err := m.MarshalBinary()
+	if err != nil {
+		return ""
+	}
+	clone := sha256.New()
+	if err := clone.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(clone.Sum(nil))
+}
+
+// EncodeEvents serializes events into one chunk frame plus its sidecar
+// index — the exact pair a Writer flush produces — for callers that feed a
+// Sink directly (the network streaming path encodes on the client and
+// ships frames).
+func EncodeEvents(events []Event) (chunk []byte, index *ChunkIndex, err error) {
+	var buf bytes.Buffer
+	if err := EncodeChunk(&buf, events); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), BuildChunkIndex(events, int64(buf.Len())), nil
+}

@@ -1,11 +1,7 @@
 package trace
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 )
 
@@ -20,17 +16,20 @@ const (
 	metaFileName     = "meta.json"
 )
 
-// Writer persists a trace to a directory as a sequence of binary chunk files
-// plus a JSON metadata file. Serialization and disk I/O happen on a
+// Writer persists a trace as a sequence of binary chunks plus run
+// metadata, delivered to a Sink. Serialization and delivery happen on a
 // background goroutine so that trace collection stays off the training
 // critical path (paper Appendix A.1: traces are aggregated in librlscope.so
-// and dumped asynchronously).
+// and dumped asynchronously). NewWriter targets a local directory — the
+// historical layout — while NewSinkWriter accepts any Sink, which is how a
+// workload streams its trace over HTTP into a live rlscope-serve store
+// instead of writing local files.
 //
 // Writer methods are not safe for concurrent use by multiple goroutines;
 // each simulated process buffers its own events and the harness feeds them
 // to the writer sequentially.
 type Writer struct {
-	dir        string
+	sink       Sink
 	chunkBytes int
 
 	mu      sync.Mutex
@@ -46,52 +45,51 @@ type Writer struct {
 }
 
 type writeJob struct {
-	path   string
+	seq    int
 	events []Event
 }
 
-// NewWriter creates the directory (if needed) and returns a Writer flushing
-// chunks of approximately chunkBytes serialized bytes. chunkBytes <= 0 uses
-// DefaultChunkBytes.
+// NewWriter creates the directory (if needed) and returns a Writer
+// flushing chunks of approximately chunkBytes serialized bytes into it.
+// Stale trace files from a previous run in the same directory are removed
+// first, so a rewrite can never leave orphaned higher-numbered chunks
+// behind. chunkBytes <= 0 uses DefaultChunkBytes.
 func NewWriter(dir string, chunkBytes int) (*Writer, error) {
+	sink, err := newDirSink(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	return NewSinkWriter(sink, chunkBytes), nil
+}
+
+// NewSinkWriter returns a Writer delivering its chunk frames to sink.
+// chunkBytes <= 0 uses DefaultChunkBytes.
+func NewSinkWriter(sink Sink, chunkBytes int) *Writer {
 	if chunkBytes <= 0 {
 		chunkBytes = DefaultChunkBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("trace: creating trace dir: %w", err)
-	}
 	w := &Writer{
-		dir:        dir,
+		sink:       sink,
 		chunkBytes: chunkBytes,
 		jobs:       make(chan writeJob, 16),
 		done:       make(chan struct{}),
 	}
 	go w.writeLoop()
-	return w, nil
+	return w
 }
 
 func (w *Writer) writeLoop() {
 	defer close(w.done)
 	for job := range w.jobs {
-		var buf bytes.Buffer
-		if err := EncodeChunk(&buf, job.events); err != nil {
-			w.setErr(err)
-			continue
-		}
-		if err := os.WriteFile(job.path, buf.Bytes(), 0o644); err != nil {
-			w.setErr(err)
-			continue
-		}
-		// The sidecar index lets streaming analysis plan chunk routing
-		// without decoding events; it is derived from the same event slice
-		// the chunk was encoded from, so the two can never disagree.
-		ix := BuildChunkIndex(job.events, int64(buf.Len()))
-		data, err := json.Marshal(ix)
+		// The sidecar index is derived from the same event slice the chunk
+		// was encoded from, so the two can never disagree; a streaming
+		// analysis plans chunk routing from it without decoding events.
+		chunk, ix, err := EncodeEvents(job.events)
 		if err != nil {
 			w.setErr(err)
 			continue
 		}
-		if err := os.WriteFile(sidecarPath(job.path), data, 0o644); err != nil {
+		if err := w.sink.AppendChunk(job.seq, chunk, ix); err != nil {
 			w.setErr(err)
 		}
 	}
@@ -131,15 +129,15 @@ func (w *Writer) flushLocked() {
 	if len(w.pending) == 0 {
 		return
 	}
-	path := filepath.Join(w.dir, fmt.Sprintf(chunkFilePattern, w.nchunks))
+	w.jobs <- writeJob{seq: w.nchunks, events: w.pending}
 	w.nchunks++
-	w.jobs <- writeJob{path: path, events: w.pending}
 	w.pending = nil
 	w.size = 0
 }
 
-// Close flushes remaining events, writes metadata, waits for the background
-// writer to finish, and reports the first error encountered, if any.
+// Close flushes remaining events, waits for the background writer to
+// finish, seals the sink with the run metadata, and reports the first
+// error encountered, if any.
 func (w *Writer) Close(meta Meta) error {
 	w.mu.Lock()
 	if w.closed {
@@ -153,17 +151,13 @@ func (w *Writer) Close(meta Meta) error {
 	close(w.jobs)
 	<-w.done
 
-	data, err := json.MarshalIndent(meta, "", "  ")
-	if err != nil {
-		return fmt.Errorf("trace: encoding metadata: %w", err)
-	}
-	if err := os.WriteFile(filepath.Join(w.dir, metaFileName), data, 0o644); err != nil {
-		return fmt.Errorf("trace: writing metadata: %w", err)
+	if err := w.sink.Seal(meta); err != nil && w.err == nil {
+		return err
 	}
 	return w.err
 }
 
-// ChunksWritten reports how many chunk files have been scheduled so far.
+// ChunksWritten reports how many chunk flushes have been scheduled so far.
 func (w *Writer) ChunksWritten() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()

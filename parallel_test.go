@@ -1,7 +1,7 @@
-//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy wrappers (they must stay byte-identical to the Engine)
 package rlscope
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -109,37 +109,48 @@ func renderResults(m map[ProcID]*Result) string {
 	return sb.String()
 }
 
-// TestAnalyzeParallelDeterministic asserts the tentpole property: on
-// randomized multi-process traces, AnalyzeParallel produces byte-identical
+// engineResults analyzes an in-memory trace through the Engine and unwraps
+// the results — a materialized source under a background context has no
+// error paths, so a failure here is a test bug worth panicking on.
+func engineResults(tr *Trace, opts ...EngineOption) map[ProcID]*Result {
+	rep, err := NewEngine(opts...).Analyze(context.Background(), FromTrace(tr))
+	if err != nil {
+		panic(err)
+	}
+	return rep.Results
+}
+
+// TestEngineParallelDeterministic asserts the tentpole property: on
+// randomized multi-process traces, the Engine produces byte-identical
 // results for Workers 1..8, all equal to the sequential per-process sweep.
-func TestAnalyzeParallelDeterministic(t *testing.T) {
+func TestEngineParallelDeterministic(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		tr := randomWorkloadTrace(seed)
 		sequential := map[ProcID]*Result{}
 		for _, p := range tr.ProcIDs() {
-			sequential[p] = AnalyzeProcess(tr, p)
+			sequential[p] = overlap.Compute(tr.ProcEvents(p))
 		}
 		want := renderResults(sequential)
-		if got := renderResults(Analyze(tr)); got != want {
-			t.Fatalf("seed %d: Analyze diverges from per-process sweep:\n%s\nvs\n%s", seed, got, want)
+		if got := renderResults(engineResults(tr, WithWorkers(1))); got != want {
+			t.Fatalf("seed %d: sequential Engine diverges from per-process sweep:\n%s\nvs\n%s", seed, got, want)
 		}
 		for workers := 1; workers <= 8; workers++ {
-			got := renderResults(AnalyzeParallel(tr, AnalysisOptions{Workers: workers}))
+			got := renderResults(engineResults(tr, WithWorkers(workers)))
 			if got != want {
-				t.Fatalf("seed %d workers %d: AnalyzeParallel diverges from sequential Analyze:\n%s\nvs\n%s",
+				t.Fatalf("seed %d workers %d: parallel Engine diverges from sequential sweep:\n%s\nvs\n%s",
 					seed, workers, got, want)
 			}
 		}
 	}
 }
 
-// TestAnalyzeParallelRepeatable asserts run-to-run stability at full
+// TestEngineParallelRepeatable asserts run-to-run stability at full
 // concurrency — no map-iteration or scheduling order may leak into results.
-func TestAnalyzeParallelRepeatable(t *testing.T) {
+func TestEngineParallelRepeatable(t *testing.T) {
 	tr := randomWorkloadTrace(77)
-	first := renderResults(AnalyzeParallel(tr, AnalysisOptions{}))
+	first := renderResults(engineResults(tr))
 	for i := 0; i < 5; i++ {
-		if got := renderResults(AnalyzeParallel(tr, AnalysisOptions{})); got != first {
+		if got := renderResults(engineResults(tr)); got != first {
 			t.Fatalf("run %d: result changed between identical invocations", i)
 		}
 	}

@@ -51,19 +51,13 @@
 //	eng := rlscope.NewEngine(rlscope.WithCorrection(cal), rlscope.WithMaxResidentBytes(1<<20))
 //	report, err := eng.Analyze(ctx, rlscope.FromDir(traceDir))
 //
-// The free functions Analyze, AnalyzeParallel, AnalyzeProcess, AnalyzeDir,
-// and AnalyzeDirStats predate the Engine; they remain as thin wrappers over
-// it and are documented deprecated.
-//
 // The examples/ directory contains runnable programs; cmd/ contains the
-// rls-prof-style CLI tools; DESIGN.md maps every paper experiment to the
+// rls-prof-style CLI tools; the client package streams traces into a live
+// rlscope-serve instance; DESIGN.md maps every paper experiment to the
 // module that regenerates it.
 package rlscope
 
 import (
-	"context"
-	"fmt"
-
 	"repro/internal/analysis"
 	"repro/internal/calib"
 	"repro/internal/overlap"
@@ -138,94 +132,9 @@ func Uninstrumented() FeatureFlags { return trace.Uninstrumented() }
 // DefaultOverheads returns the standard book-keeping cost model.
 func DefaultOverheads() OverheadModel { return profiler.DefaultOverheads() }
 
-// AnalysisOptions configures the sharded analysis engine behind the
-// deprecated AnalyzeParallel and AnalyzeDir wrappers. New code configures
-// an Engine with functional options instead.
-type AnalysisOptions = analysis.Options
-
 // StreamStats reports what a streaming analysis read, scheduled, and kept
 // resident (see Report.Stats).
 type StreamStats = analysis.StreamStats
-
-// engineFor translates legacy AnalysisOptions into an Engine, so every
-// deprecated entry point funnels through the one analysis implementation.
-func engineFor(opts AnalysisOptions) *Engine {
-	return NewEngine(
-		WithWorkers(opts.Workers),
-		WithMaxResidentBytes(opts.MaxResidentBytes),
-		WithProcesses(opts.Procs...),
-		WithProgress(opts.Progress),
-	)
-}
-
-// mustResults runs an Engine analysis that cannot fail — a materialized
-// source under a background context has no error paths — and unwraps it.
-func mustResults(e *Engine, src Source) map[ProcID]*Result {
-	rep, err := e.Analyze(context.Background(), src)
-	if err != nil {
-		panic(fmt.Sprintf("rlscope: materialized analysis failed: %v", err))
-	}
-	return rep.Results
-}
-
-// Analyze runs the cross-stack overlap computation for every process in
-// the trace (paper §3.3), strictly sequentially.
-//
-// Deprecated: use NewEngine(WithWorkers(1)).Analyze(ctx, FromTrace(t)),
-// which this wraps.
-func Analyze(t *Trace) map[ProcID]*Result {
-	return mustResults(NewEngine(WithWorkers(1)), FromTrace(t))
-}
-
-// AnalyzeParallel runs the overlap computation by fanning per-(process,
-// phase) shards of the trace over a worker pool. Results are byte-identical
-// to Analyze for every worker count; Workers <= 0 uses one worker per CPU.
-//
-// Deprecated: use NewEngine(WithWorkers(n)).Analyze(ctx, FromTrace(t)),
-// which this wraps.
-func AnalyzeParallel(t *Trace, opts AnalysisOptions) map[ProcID]*Result {
-	return mustResults(engineFor(opts), FromTrace(t))
-}
-
-// AnalyzeProcess runs the overlap computation for one process, returning an
-// empty breakdown for a process absent from the trace.
-//
-// Deprecated: use NewEngine(WithProcesses(p)).Analyze(ctx, FromTrace(t)),
-// which this wraps.
-func AnalyzeProcess(t *Trace, p ProcID) *Result {
-	if res := mustResults(NewEngine(WithWorkers(1), WithProcesses(p)), FromTrace(t))[p]; res != nil {
-		return res
-	}
-	return overlap.Compute(nil) // empty breakdown: the process has no events
-}
-
-// AnalyzeDir streams a chunked trace directory (written by Profiler.WriteTo
-// or rlscope-prof) through the sharded analysis engine without materializing
-// the whole trace. The result is byte-identical to
-// AnalyzeParallel(trace.ReadDir(dir)) for every worker count and budget.
-//
-// Deprecated: use NewEngine(...).Analyze(ctx, FromDir(dir)), which this
-// wraps.
-func AnalyzeDir(dir string, opts AnalysisOptions) (map[ProcID]*Result, error) {
-	results, _, err := AnalyzeDirStats(dir, opts)
-	return results, err
-}
-
-// AnalyzeDirStats is AnalyzeDir, additionally reporting streaming statistics
-// (chunks decoded, shards dispatched, peak resident events/bytes).
-//
-// Deprecated: use NewEngine(...).Analyze(ctx, FromDir(dir)) and read
-// Report.Stats, which this wraps.
-func AnalyzeDirStats(dir string, opts AnalysisOptions) (map[ProcID]*Result, StreamStats, error) {
-	rep, err := engineFor(opts).Analyze(context.Background(), FromDir(dir))
-	if err != nil {
-		if rep != nil {
-			return nil, rep.Stats, err
-		}
-		return nil, StreamStats{}, err
-	}
-	return rep.Results, rep.Stats, nil
-}
 
 // TraceDirDigest returns the SHA-256 content digest identifying a chunked
 // trace directory: a hash over its metadata, chunk files, and sidecar

@@ -1,4 +1,3 @@
-//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy wrappers (they must stay byte-identical to the Engine)
 package rlscope
 
 import (
@@ -36,7 +35,7 @@ func runToy(flags FeatureFlags, seed int64) (*Profiler, *Trace) {
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	_, tr := runToy(FullInstrumentation(), 1)
-	results := Analyze(tr)
+	results := engineResults(tr, WithWorkers(1))
 	res := results[0]
 	if res == nil {
 		t.Fatal("no analysis for process 0")
@@ -85,7 +84,7 @@ func TestFlagHelpers(t *testing.T) {
 	if DefaultOverheads().Interception.Mean <= 0 {
 		t.Fatal("default overheads empty")
 	}
-	if AnalyzeProcess(&Trace{}, 0).Total() != 0 {
-		t.Fatal("empty trace should analyze to zero")
+	if results := engineResults(&Trace{}, WithWorkers(1)); len(results) != 0 {
+		t.Fatal("empty trace should produce no per-process results")
 	}
 }

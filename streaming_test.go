@@ -1,12 +1,25 @@
-//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy wrappers (they must stay byte-identical to the Engine)
 package rlscope
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/trace"
 )
+
+// engineDirResults streams a chunked trace directory through the Engine,
+// returning results plus the run's streaming statistics.
+func engineDirResults(dir string, opts ...EngineOption) (map[ProcID]*Result, StreamStats, error) {
+	rep, err := NewEngine(opts...).Analyze(context.Background(), FromDir(dir))
+	if err != nil {
+		if rep != nil {
+			return nil, rep.Stats, err
+		}
+		return nil, StreamStats{}, err
+	}
+	return rep.Results, rep.Stats, nil
+}
 
 // writeWorkloadTrace persists a profiled workload trace with small chunks so
 // the streaming property tests cross many chunk boundaries.
@@ -24,11 +37,11 @@ func writeWorkloadTrace(t *testing.T, tr *Trace, chunkBytes int) string {
 	return dir
 }
 
-// TestAnalyzeDirMatchesParallel asserts the tentpole acceptance property on
-// the public API: for randomized multi-process workload traces chunked on
-// disk, AnalyzeDir is byte-identical to AnalyzeParallel(trace.ReadDir(dir))
+// TestEngineDirMatchesMaterialized asserts the tentpole acceptance property
+// on the public API: for randomized multi-process workload traces chunked
+// on disk, streaming FromDir is byte-identical to materializing the trace
 // at Workers 1..8, with and without a MaxResidentBytes budget.
-func TestAnalyzeDirMatchesParallel(t *testing.T) {
+func TestEngineDirMatchesMaterialized(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		tr := randomWorkloadTrace(seed)
 		dir := writeWorkloadTrace(t, tr, 2048)
@@ -36,15 +49,15 @@ func TestAnalyzeDirMatchesParallel(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: ReadDir: %v", seed, err)
 		}
-		want := renderResults(AnalyzeParallel(loaded, AnalysisOptions{Workers: 1}))
+		want := renderResults(engineResults(loaded, WithWorkers(1)))
 		for workers := 1; workers <= 8; workers++ {
 			for _, budget := range []int64{0, 8 << 10} {
-				got, err := AnalyzeDir(dir, AnalysisOptions{Workers: workers, MaxResidentBytes: budget})
+				got, _, err := engineDirResults(dir, WithWorkers(workers), WithMaxResidentBytes(budget))
 				if err != nil {
-					t.Fatalf("seed %d workers %d budget %d: AnalyzeDir: %v", seed, workers, budget, err)
+					t.Fatalf("seed %d workers %d budget %d: FromDir analysis: %v", seed, workers, budget, err)
 				}
 				if renderResults(got) != want {
-					t.Fatalf("seed %d workers %d budget %d: AnalyzeDir diverges from AnalyzeParallel(ReadDir)",
+					t.Fatalf("seed %d workers %d budget %d: streaming diverges from materialized",
 						seed, workers, budget)
 				}
 			}
@@ -52,20 +65,19 @@ func TestAnalyzeDirMatchesParallel(t *testing.T) {
 	}
 }
 
-// TestAnalyzeDirRepeatable asserts run-to-run stability of the streaming
+// TestEngineDirRepeatable asserts run-to-run stability of the streaming
 // path at full concurrency under a tight budget — neither scheduling order
 // nor eviction timing may leak into results.
-func TestAnalyzeDirRepeatable(t *testing.T) {
+func TestEngineDirRepeatable(t *testing.T) {
 	tr := randomWorkloadTrace(55)
 	dir := writeWorkloadTrace(t, tr, 2048)
-	opts := AnalysisOptions{MaxResidentBytes: 4 << 10}
-	first, err := AnalyzeDir(dir, opts)
+	first, _, err := engineDirResults(dir, WithMaxResidentBytes(4<<10))
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := renderResults(first)
 	for i := 0; i < 5; i++ {
-		got, err := AnalyzeDir(dir, opts)
+		got, _, err := engineDirResults(dir, WithMaxResidentBytes(4<<10))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,14 +87,14 @@ func TestAnalyzeDirRepeatable(t *testing.T) {
 	}
 }
 
-// TestAnalyzeDirReportsResidency asserts the public stats surface: a budget
+// TestEngineDirReportsResidency asserts the public stats surface: a budget
 // keeps the streaming engine's peak resident events below the materialized
 // trace size on a realistic profiled workload.
-func TestAnalyzeDirReportsResidency(t *testing.T) {
+func TestEngineDirReportsResidency(t *testing.T) {
 	tr := randomWorkloadTrace(8)
 	tr.Sort()
 	dir := writeWorkloadTrace(t, tr, 1024)
-	_, stats, err := AnalyzeDirStats(dir, AnalysisOptions{Workers: 1, MaxResidentBytes: 8 << 10})
+	_, stats, err := engineDirResults(dir, WithWorkers(1), WithMaxResidentBytes(8<<10))
 	if err != nil {
 		t.Fatal(err)
 	}
