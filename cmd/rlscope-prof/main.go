@@ -54,6 +54,7 @@ func main() {
 		steps     = flag.Int("steps", 2000, "environment steps to train for")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("out", "", "trace output directory (omit to skip writing)")
+		format    = flag.String("format", "v1", "chunk encoding for -out and -serve: v1 (row) or v2 (columnar)")
 		serveURL  = flag.String("serve", "", "rlscope-serve base URL to stream the trace to (e.g. http://localhost:8080)")
 		traceID   = flag.String("trace-id", "", "trace id to stream under (with -serve; default: the workload name)")
 		instrOff  = flag.Bool("uninstrumented", false, "disable all profiler book-keeping")
@@ -63,6 +64,10 @@ func main() {
 	flag.Parse()
 
 	model, err := parseModel(*framework)
+	if err != nil {
+		fatal(err)
+	}
+	chunkFormat, err := trace.ParseFormat(*format)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,7 +94,7 @@ func main() {
 		fatal(err)
 	}
 	if *out != "" {
-		w, err := trace.NewWriter(*out, 0)
+		w, err := trace.NewWriter(*out, 0, trace.WithFormat(chunkFormat))
 		if err != nil {
 			fatal(err)
 		}
@@ -112,7 +117,7 @@ func main() {
 		if _, err := c.Register(ctx, id); err != nil {
 			fatal(err)
 		}
-		w := trace.NewSinkWriter(c.Sink(ctx, id), 0)
+		w := trace.NewSinkWriter(c.Sink(ctx, id), 0, trace.WithFormat(chunkFormat))
 		w.Append(stats.Trace.Events...)
 		if err := w.Close(stats.Trace.Meta); err != nil {
 			fatal(err)

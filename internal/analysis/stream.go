@@ -49,8 +49,16 @@ type streamShard struct {
 	bytes  int64
 	// chunks lists, in ascending order, the chunk ids that may contribute
 	// events to this shard; next indexes the first one not yet decoded.
-	chunks []int
-	next   int
+	// nchunks is the planner's relevance count, from which chunks (a view
+	// into one run-wide backing array) is sized.
+	chunks  []int
+	next    int
+	nchunks int
+	// evCap upper-bounds the events this shard can ever buffer: the sum of
+	// the sidecar event counts of its relevant chunks for its process.
+	// Unbudgeted runs pre-size the shard buffer from it, so routing appends
+	// never reallocate.
+	evCap int
 	// watermarks[j] is the minimum event start time across chunks[j:] for
 	// this shard's process: no event from a not-yet-decoded chunk can
 	// begin before watermarks[next], so the prefix [lo, watermarks[next])
@@ -58,6 +66,14 @@ type streamShard struct {
 	// watermarks come from stage-mapped spans, whose conservative bound
 	// preserves exactly this guarantee for the transformed events.
 	watermarks []vclock.Time
+}
+
+// chunkSpan is one (chunk, process) sidecar span flattened out of the
+// per-chunk index during planning, so no per-chunk ChunkIndex (or its maps)
+// stays resident after the planning pass.
+type chunkSpan struct {
+	proc trace.ProcID
+	span trace.ProcSpan
 }
 
 // RunStream computes the same per-process overlap breakdown as Run, but from
@@ -100,9 +116,12 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 	// events give each process its window partition. An EventStage bends
 	// the plan the same way it bends the events: phase events are mapped
 	// before partitioning and spans are mapped (conservatively) before
-	// relevance and watermark derivation.
-	indexes := make([]*trace.ChunkIndex, n)
-	spans := make([]map[trace.ProcID]trace.ProcSpan, n)
+	// relevance and watermark derivation. The sidecars are served from the
+	// Reader's index cache and flattened into a single span list, so
+	// planning over a warm Reader touches neither the disk nor the
+	// allocator for per-chunk metadata.
+	spanAt := []chunkSpan(nil)
+	spanOff := make([]int, n+1)
 	phaseEvents := map[trace.ProcID][]trace.Event{}
 	procSeen := map[trace.ProcID]bool{}
 	for i := 0; i < n; i++ {
@@ -110,17 +129,14 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 		if err != nil {
 			return nil, stats, err
 		}
-		indexes[i] = ix
-		spans[i] = ix.Procs
-		if stage != nil {
-			spans[i] = make(map[trace.ProcID]trace.ProcSpan, len(ix.Procs))
-			for p, sp := range ix.Procs {
-				spans[i][p] = stage.MapSpan(p, sp)
+		for p, sp := range ix.Procs {
+			if stage != nil {
+				sp = stage.MapSpan(p, sp)
 			}
-		}
-		for p := range ix.Procs {
+			spanAt = append(spanAt, chunkSpan{proc: p, span: sp})
 			procSeen[p] = true
 		}
+		spanOff[i+1] = len(spanAt)
 		for _, pe := range ix.Phases {
 			if stage != nil && !stage.MapEvent(&pe) {
 				continue
@@ -146,38 +162,101 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 	}
 
 	// Shards in (process, window) order; evictions scan this order, so the
-	// schedule — not just the result — is reproducible for one worker.
-	shardsByProc := map[trace.ProcID][]*streamShard{}
-	var allShards []*streamShard
+	// schedule — not just the result — is reproducible for one worker. One
+	// backing array holds every shard; shardOf views each process's
+	// contiguous run of it.
+	totalWindows := 0
+	windowsOf := make(map[trace.ProcID][]trace.Window, len(procs))
 	for _, p := range procs {
-		for _, w := range trace.PhasePartition(phaseEvents[p]) {
-			sh := &streamShard{proc: p, lo: w.Lo, hi: w.Hi}
-			shardsByProc[p] = append(shardsByProc[p], sh)
-			allShards = append(allShards, sh)
+		ws := trace.PhasePartition(phaseEvents[p])
+		windowsOf[p] = ws
+		totalWindows += len(ws)
+	}
+	allShards := make([]streamShard, 0, totalWindows)
+	shardOf := make(map[trace.ProcID][]streamShard, len(procs))
+	for _, p := range procs {
+		base := len(allShards)
+		for _, w := range windowsOf[p] {
+			allShards = append(allShards, streamShard{proc: p, lo: w.Lo, hi: w.Hi})
+		}
+		shardOf[p] = allShards[base:len(allShards):len(allShards)]
+	}
+
+	// Conservative relevance: every event of p in a chunk has start >=
+	// span.MinStart and end <= span.MaxEnd, so nothing can overlap
+	// [lo, hi) unless the span does. Two passes — count, then fill — so the
+	// per-shard chunk lists, watermarks, and per-chunk shard lists all
+	// carve views out of three run-wide backing arrays.
+	relevant := func(sp trace.ProcSpan, sh *streamShard) bool {
+		return sp.MinStart < sh.hi && sp.MaxEnd >= sh.lo
+	}
+	nPairs := 0
+	chunkShardCount := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, cs := range spanAt[spanOff[i]:spanOff[i+1]] {
+			shs := shardOf[cs.proc]
+			for si := range shs {
+				if relevant(cs.span, &shs[si]) {
+					shs[si].nchunks++
+					shs[si].evCap += cs.span.Events
+					chunkShardCount[i]++
+					nPairs++
+				}
+			}
 		}
 	}
+	chunkBacking := make([]int, nPairs)
+	wmBacking := make([]vclock.Time, nPairs)
+	csBacking := make([]*streamShard, nPairs)
+	off := 0
+	for si := range allShards {
+		sh := &allShards[si]
+		sh.chunks = chunkBacking[off : off : off+sh.nchunks]
+		sh.watermarks = wmBacking[off : off+sh.nchunks]
+		off += sh.nchunks
+	}
 	chunkShards := make([][]*streamShard, n)
-	for i := range indexes {
-		for p, span := range spans[i] {
-			for _, sh := range shardsByProc[p] {
-				// Conservative relevance: every event of p in this chunk
-				// has start >= span.MinStart and end <= span.MaxEnd, so
-				// nothing can overlap [lo, hi) unless the span does.
-				if span.MinStart < sh.hi && span.MaxEnd >= sh.lo {
+	off = 0
+	for i := range chunkShards {
+		chunkShards[i] = csBacking[off : off : off+chunkShardCount[i]]
+		off += chunkShardCount[i]
+	}
+	for i := 0; i < n; i++ {
+		for _, cs := range spanAt[spanOff[i]:spanOff[i+1]] {
+			shs := shardOf[cs.proc]
+			for si := range shs {
+				sh := &shs[si]
+				if relevant(cs.span, sh) {
+					// Stash the span's MinStart positionally; the suffix-min
+					// pass below turns the column into true watermarks.
+					sh.watermarks[len(sh.chunks)] = cs.span.MinStart
 					sh.chunks = append(sh.chunks, i)
 					chunkShards[i] = append(chunkShards[i], sh)
 				}
 			}
 		}
 	}
-	for _, sh := range allShards {
-		sh.watermarks = make([]vclock.Time, len(sh.chunks))
+	for si := range allShards {
+		sh := &allShards[si]
 		min := vclock.MaxTime
 		for j := len(sh.chunks) - 1; j >= 0; j-- {
-			if ms := spans[sh.chunks[j]][sh.proc].MinStart; ms < min {
-				min = ms
+			if sh.watermarks[j] < min {
+				min = sh.watermarks[j]
 			}
 			sh.watermarks[j] = min
+		}
+	}
+	// An unbudgeted run buffers a shard's whole event population before its
+	// final chunk dispatches it, so pre-sizing to the sidecar-derived upper
+	// bound costs no memory the run would not reach anyway — and removes
+	// every routing-append reallocation. A budgeted run keeps growth-from-
+	// small: eviction is supposed to hold residency (and therefore slice
+	// footprints) below the bound, so reserving evCap would defeat it.
+	if opts.MaxResidentBytes == 0 {
+		for si := range allShards {
+			if sh := &allShards[si]; sh.nchunks > 0 {
+				sh.events = make([]trace.Event, 0, sh.evCap)
+			}
 		}
 	}
 
@@ -191,6 +270,11 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 	// computes, and no locking is needed because a worker index is owned by
 	// exactly one goroutine. Borrowed lazily, returned after pool.Wait.
 	sweepers := make([]*overlap.Sweeper, pool.Workers())
+	// workerRes[w] is worker w's reusable window result: ComputeWindowInto
+	// clears and refills its maps, mergeShard folds them into the
+	// per-process accumulator, and the next window reuses the storage — no
+	// per-shard Result ever reaches the heap.
+	workerRes := make([]overlap.Result, pool.Workers())
 	returnSweepers := func() {
 		for _, sw := range sweepers {
 			if sw != nil {
@@ -209,7 +293,8 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 			if sweepers[worker] == nil {
 				sweepers[worker] = overlap.GetSweeper()
 			}
-			res := sweepers[worker].ComputeWindow(events, lo, hi)
+			res := &workerRes[worker]
+			sweepers[worker].ComputeWindowInto(res, events, lo, hi)
 			mu.Lock()
 			mergeShard(out[proc], res)
 			mu.Unlock()
@@ -241,7 +326,8 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 	// the watermark) are skipped — dispatching them would cost a window
 	// computation without reducing residency.
 	evict := func(budget int64) {
-		for _, sh := range allShards {
+		for si := range allShards {
+			sh := &allShards[si]
 			if bufferedBytes+inflightBytes.Load() <= budget {
 				return
 			}
@@ -304,6 +390,41 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 		returnSweepers()
 		return nil, stats, err
 	}
+	// process transforms (via the stage) and routes one decoded event into
+	// every shard whose window it overlaps. The columnar path hands it
+	// stack-constructed events straight off the column cursors; the v1 path
+	// hands it the decode buffer's events. The stage's MapEvent needs an
+	// addressable event, and taking &e would make the parameter escape on
+	// every call — one heap Event per decoded event — so the address it gets
+	// is the single captured staged variable instead.
+	var chunkBytes int64
+	var chunkEvents int
+	var staged trace.Event
+	process := func(e trace.Event) {
+		if stage != nil {
+			staged = e
+			if !stage.MapEvent(&staged) {
+				return
+			}
+			e = staged
+		}
+		chunkEvents++
+		eb := int64(trace.EventBytes(e))
+		chunkBytes += eb
+		shs := shardOf[e.Proc]
+		for si := range shs {
+			sh := &shs[si]
+			if trace.OverlapsWindow(e, sh.lo, sh.hi) {
+				if routed != nil {
+					routed[e.Proc] = true
+				}
+				sh.events = append(sh.events, e)
+				sh.bytes += eb
+				bufferedBytes += eb
+				bufferedEvents++
+			}
+		}
+	}
 	var buf []trace.Event
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
@@ -312,41 +433,34 @@ func RunStreamContext(ctx context.Context, r *trace.Reader, opts Options) (map[t
 		if len(chunkShards[i]) == 0 {
 			continue // contributes to no requested (process, window) shard
 		}
-		var err error
-		buf, err = r.ReadChunk(i, buf[:0])
+		chunkBytes, chunkEvents = 0, 0
+		cc, columnar, err := r.ReadColumns(i)
 		if err != nil {
 			return bail(err)
 		}
-		stats.ChunksDecoded++
-		stats.Events += len(buf)
-		if stage != nil {
-			// Transform in place and compact the dropped events away:
-			// MapEvent takes addresses into the decode buffer's backing
-			// array, so the stage costs no per-event allocation.
-			kept := buf[:0]
+		if columnar {
+			// The v2 fast path: sweep the columns without materializing a
+			// []Event — each event is built on the stack and routed.
+			err := cc.Events(func(_ int, e trace.Event) bool {
+				stats.Events++
+				process(e)
+				return true
+			})
+			if err != nil {
+				return bail(&trace.ChunkError{Dir: r.Dir(), Chunk: r.ChunkName(i), Err: err})
+			}
+		} else {
+			buf, err = r.ReadChunk(i, buf[:0])
+			if err != nil {
+				return bail(err)
+			}
+			stats.Events += len(buf)
 			for j := range buf {
-				if stage.MapEvent(&buf[j]) {
-					kept = append(kept, buf[j])
-				}
-			}
-			buf = kept
-		}
-		var chunkBytes int64
-		for _, e := range buf {
-			chunkBytes += int64(trace.EventBytes(e))
-			for _, sh := range shardsByProc[e.Proc] {
-				if trace.OverlapsWindow(e, sh.lo, sh.hi) {
-					if routed != nil {
-						routed[e.Proc] = true
-					}
-					sh.events = append(sh.events, e)
-					sh.bytes += int64(trace.EventBytes(e))
-					bufferedBytes += int64(trace.EventBytes(e))
-					bufferedEvents++
-				}
+				process(buf[j])
 			}
 		}
-		sample(chunkBytes, len(buf))
+		stats.ChunksDecoded++
+		sample(chunkBytes, chunkEvents)
 		for _, sh := range chunkShards[i] {
 			sh.next++
 			if sh.next == len(sh.chunks) {

@@ -29,7 +29,7 @@ import (
 
 // Experiments lists every bundle id Metrics accepts.
 func Experiments() []string {
-	return append(append([]string{}, experiments.MetricExperiments...), "servecache", "ingest")
+	return append(append([]string{}, experiments.MetricExperiments...), "servecache", "ingest", "formatv2")
 }
 
 // Metrics is the hypothesis.Source backing the committed grid.
@@ -39,6 +39,8 @@ func Metrics(ctx context.Context, experiment string, steps int, seed int64) (map
 		return serveCacheMetrics(ctx, steps, seed)
 	case "ingest":
 		return ingestMetrics(ctx, steps, seed)
+	case "formatv2":
+		return formatv2Metrics(ctx, steps, seed)
 	}
 	return experiments.Metrics(ctx, experiment, steps, seed)
 }
@@ -134,6 +136,132 @@ func serveCacheMetrics(ctx context.Context, steps int, seed int64) (map[string]f
 	return map[string]float64{
 		"miss_over_hit": missBest.Seconds() / hitBest.Seconds(),
 	}, nil
+}
+
+// formatv2Metrics checks PR 8's format-parity and compression claims on a
+// real profiled workload: converting the trace directory to the columnar v2
+// format (with the round-trip digest verification on) and analyzing it — and
+// a directory mixing v1 and v2 chunks — must produce analysis documents
+// byte-identical to the v1 original's, while the v2 chunks are measurably
+// smaller at rest. Byte-equality and a deterministic workload make this a
+// deterministic bundle.
+func formatv2Metrics(ctx context.Context, steps int, seed int64) (map[string]float64, error) {
+	if steps <= 0 {
+		steps = 200
+	}
+	stats, err := workloads.Run(workloads.Spec{
+		Algo: "DDPG", Env: "Walker2D", Model: backend.Graph,
+		TotalSteps: steps, Seed: seed,
+	}, trace.Full())
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: formatv2: %w", err)
+	}
+	base, err := os.MkdirTemp("", "rlscope-hyp-formatv2-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+	v1dir := filepath.Join(base, "v1")
+	w, err := trace.NewWriter(v1dir, 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	w.Append(stats.Trace.Events...)
+	if err := w.Close(stats.Trace.Meta); err != nil {
+		return nil, err
+	}
+	v2dir := filepath.Join(base, "v2")
+	cstats, err := trace.ConvertDir(v1dir, v2dir, trace.FormatV2, true)
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: formatv2: convert: %w", err)
+	}
+
+	// Mixed directory: the v1 original with every other chunk re-encoded
+	// columnar in place — the per-chunk version sniffing must make the mix
+	// indistinguishable from either pure directory.
+	mixdir := filepath.Join(base, "mixed")
+	if err := copyDir(v1dir, mixdir); err != nil {
+		return nil, fmt.Errorf("hypmetrics: formatv2: %w", err)
+	}
+	r, err := trace.OpenDir(mixdir)
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: formatv2: %w", err)
+	}
+	var events []trace.Event
+	for i := 0; i < r.NumChunks(); i += 2 {
+		if events, err = r.ReadChunk(i, events[:0]); err != nil {
+			return nil, fmt.Errorf("hypmetrics: formatv2: %w", err)
+		}
+		chunk, _, err := trace.EncodeEventsFormat(events, trace.FormatV2)
+		if err != nil {
+			return nil, fmt.Errorf("hypmetrics: formatv2: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(mixdir, r.ChunkName(i)), chunk, 0o644); err != nil {
+			return nil, fmt.Errorf("hypmetrics: formatv2: %w", err)
+		}
+	}
+
+	analyze := func(dir string) ([]byte, error) {
+		rep, err := rlscope.NewEngine(rlscope.WithWorkers(1)).Analyze(ctx, rlscope.FromDir(dir))
+		if err != nil {
+			return nil, fmt.Errorf("hypmetrics: formatv2: analyzing %s: %w", dir, err)
+		}
+		var buf bytes.Buffer
+		if err := report.NewResultAnalysis(rep.Meta, rep.Results, rep.Corrected).Encode(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	docV1, err := analyze(v1dir)
+	if err != nil {
+		return nil, err
+	}
+	docV2, err := analyze(v2dir)
+	if err != nil {
+		return nil, err
+	}
+	docMix, err := analyze(mixdir)
+	if err != nil {
+		return nil, err
+	}
+
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return map[string]float64{
+		"v2_identical":     b2f(bytes.Equal(docV1, docV2)),
+		"mixed_identical":  b2f(bytes.Equal(docV1, docMix)),
+		"convert_verified": b2f(cstats.Verified),
+		"size_ratio":       cstats.Ratio(),
+	}, nil
+}
+
+// copyDir copies the regular files of src into a fresh dst (no recursion —
+// trace directories are flat).
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ingestMetrics checks PR 7's determinism claim end to end over real HTTP:

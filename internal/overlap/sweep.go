@@ -143,12 +143,36 @@ func (sw *Sweeper) ComputeWindow(events []trace.Event, lo, hi vclock.Time) *Resu
 	return sw.computeWindow(events, lo, hi, true)
 }
 
+// ComputeWindowInto runs the windowed sweep accumulating into res, whose
+// maps are cleared and refilled (and allocated if nil). Callers that fold
+// each window's result into an aggregate and discard it — the streaming
+// engine does this once per shard — reuse one Result per worker so the
+// per-window cost stays out of the allocator entirely.
+func (sw *Sweeper) ComputeWindowInto(res *Result, events []trace.Event, lo, hi vclock.Time) {
+	if res.ByKey == nil {
+		res.ByKey = map[Key]vclock.Duration{}
+	} else {
+		clear(res.ByKey)
+	}
+	if res.Transitions == nil {
+		res.Transitions = map[TransitionKey]int{}
+	} else {
+		clear(res.Transitions)
+	}
+	res.SpanStart, res.SpanEnd = 0, 0
+	sw.computeWindowInto(res, events, lo, hi, true)
+}
+
 func (sw *Sweeper) computeWindow(events []trace.Event, lo, hi vclock.Time, withTransitions bool) *Result {
 	res := &Result{
 		ByKey:       map[Key]vclock.Duration{},
 		Transitions: map[TransitionKey]int{},
 	}
+	sw.computeWindowInto(res, events, lo, hi, withTransitions)
+	return res
+}
 
+func (sw *Sweeper) computeWindowInto(res *Result, events []trace.Event, lo, hi vclock.Time, withTransitions bool) {
 	// Pass 1: intern names/categories and collect window-relevant interval
 	// boundaries. Span uses the unclipped extent of included events so a
 	// partition of windows merges to the span Compute reports.
@@ -296,7 +320,7 @@ func (sw *Sweeper) computeWindow(events []trace.Event, lo, hi vclock.Time, withT
 	}
 
 	if !withTransitions {
-		return res
+		return
 	}
 	// Transition markers are scoped to the innermost operation active at
 	// the marker's timestamp. The segment table is built lazily so windows
@@ -312,7 +336,6 @@ func (sw *Sweeper) computeWindow(events []trace.Event, lo, hi vclock.Time, withT
 		}
 		res.Transitions[TransitionKey{Op: sw.opAt(e.Start), Label: e.Name}]++
 	}
-	return res
 }
 
 func (sw *Sweeper) resetInterners() {

@@ -201,7 +201,10 @@ func (s *Server) handleAppendChunk(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, apiErr)
 		return
 	}
-	events, err := trace.DecodeChunk(bytes.NewReader(chunk), nil)
+	// DecodeChunkBytes sniffs the frame's version, so live ingest accepts
+	// v1 and v2 chunks alike — the store lands whatever frame the client
+	// sent, byte-for-byte, while the analysis sees decoded events.
+	events, err := trace.DecodeChunkBytes(chunk, nil)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, ErrCodeBadChunk, "undecodable chunk frame: "+err.Error())
 		return

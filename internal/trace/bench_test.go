@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// The chunk-decode micro-benchmarks pin the per-format decode cost on a
+// workload-shaped chunk (bursty kinds, small name vocabulary, monotone
+// timestamps — see workloadishEvents). DecodeChunkV2 measures the full
+// materializing decode; ParseColumnChunk measures the zero-copy framing the
+// streaming sweep uses, whose cost must stay O(columns), not O(events).
+
+const benchChunkEvents = 8192
+
+func benchEvents() []Event {
+	return workloadishEvents(rand.New(rand.NewSource(17)), benchChunkEvents)
+}
+
+func BenchmarkDecodeChunkV1(b *testing.B) {
+	frame := seedChunk(benchEvents())
+	in := NewInterner()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	var buf []Event
+	var err error
+	for i := 0; i < b.N; i++ {
+		if buf, err = decodeChunkBytes(frame, buf[:0], in, nil); err != nil {
+			b.Fatal(err)
+		}
+		if len(buf) != benchChunkEvents {
+			b.Fatalf("decoded %d events", len(buf))
+		}
+	}
+	b.ReportMetric(benchChunkEvents, "events")
+}
+
+func BenchmarkDecodeChunkV2(b *testing.B) {
+	frame := seedChunkV2(benchEvents())
+	in := NewInterner()
+	var cc ColumnChunk
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	var buf []Event
+	var err error
+	for i := 0; i < b.N; i++ {
+		if buf, err = decodeChunkBytes(frame, buf[:0], in, &cc); err != nil {
+			b.Fatal(err)
+		}
+		if len(buf) != benchChunkEvents {
+			b.Fatalf("decoded %d events", len(buf))
+		}
+	}
+	b.ReportMetric(benchChunkEvents, "events")
+}
+
+// BenchmarkParseColumnChunk is the streaming hot path: frame a columnar
+// chunk and sweep its extents without materializing any []Event.
+func BenchmarkParseColumnChunk(b *testing.B) {
+	frame := seedChunkV2(benchEvents())
+	in := NewInterner()
+	var cc ColumnChunk
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if err := cc.Parse(frame, in); err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		if err := cc.Times(func(int, vclock.Time, vclock.Time) bool {
+			n++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != benchChunkEvents {
+			b.Fatalf("swept %d events", n)
+		}
+	}
+	b.ReportMetric(benchChunkEvents, "events")
+}

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestChunkV2RoundTrip(t *testing.T) {
+	events := randomEvents(rand.New(rand.NewSource(77)), 2000)
+	var buf bytes.Buffer
+	if err := EncodeChunkV2(&buf, events); err != nil {
+		t.Fatalf("EncodeChunkV2: %v", err)
+	}
+	got, err := DecodeChunk(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("DecodeChunk: %v", err)
+	}
+	if !reflect.DeepEqual(events, got) {
+		t.Fatalf("v2 round trip mismatch: %d in, %d out", len(events), len(got))
+	}
+}
+
+func TestChunkV2Empty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeChunkV2(&buf, nil); err != nil {
+		t.Fatalf("EncodeChunkV2(nil): %v", err)
+	}
+	got, err := DecodeChunk(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("DecodeChunk: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty v2 chunk decoded to %d events", len(got))
+	}
+}
+
+// workloadishEvents models what profiled RL training actually emits — and
+// what the columnar format is tuned for: bursts of same-kind events (a run of
+// Python steps, then a run of GPU kernels), a small fixed name vocabulary,
+// and small monotone time deltas. Contrast with randomEvents, whose
+// uncorrelated kinds are the run-length encoding's adversarial case.
+func workloadishEvents(rng *rand.Rand, n int) []Event {
+	names := []string{"step", "backprop", "cudaLaunchKernel", "memcpyH2D", "inference"}
+	events := make([]Event, 0, n)
+	var tcur int64
+	for len(events) < n {
+		// One "training step": a burst of CPU work, then a burst of GPU work.
+		for i := 0; i < 8 && len(events) < n; i++ {
+			tcur += int64(20 + rng.Intn(100))
+			events = append(events, Event{
+				Kind: KindCPU, Cat: CatPython, Proc: 0,
+				Start: vclock.Time(tcur), End: vclock.Time(tcur + int64(10+rng.Intn(50))),
+				Name: names[rng.Intn(2)],
+			})
+		}
+		for i := 0; i < 4 && len(events) < n; i++ {
+			tcur += int64(20 + rng.Intn(100))
+			events = append(events, Event{
+				Kind: KindGPU, Cat: CatGPUKernel, Proc: 0,
+				Start: vclock.Time(tcur), End: vclock.Time(tcur + int64(10+rng.Intn(50))),
+				Name: names[2+rng.Intn(3)],
+			})
+		}
+	}
+	return events
+}
+
+// TestChunkV2SmallerThanV1 pins the reason v2 exists: on a realistic chunk —
+// few distinct names, runs of the same kind, monotone timestamps — the
+// columnar encoding with its dictionary and run-length columns must beat the
+// row encoding by a clear margin.
+func TestChunkV2SmallerThanV1(t *testing.T) {
+	events := workloadishEvents(rand.New(rand.NewSource(5)), 4096)
+	v1 := seedChunk(events)
+	v2 := seedChunkV2(events)
+	if len(v2)*3 > len(v1)*2 {
+		t.Fatalf("v2 not at least a third smaller: v1=%d bytes, v2=%d bytes", len(v1), len(v2))
+	}
+	t.Logf("workload-shaped chunk: v1=%d bytes, v2=%d bytes (ratio %.3f)", len(v1), len(v2), float64(len(v2))/float64(len(v1)))
+}
+
+func TestChunkFormatSniff(t *testing.T) {
+	events := randomEvents(rand.New(rand.NewSource(3)), 8)
+	if f, err := ChunkFormat(seedChunk(events)); err != nil || f != FormatV1 {
+		t.Fatalf("v1 sniff: format=%v err=%v", f, err)
+	}
+	if f, err := ChunkFormat(seedChunkV2(events)); err != nil || f != FormatV2 {
+		t.Fatalf("v2 sniff: format=%v err=%v", f, err)
+	}
+	if _, err := ChunkFormat([]byte("NOTATRACE")); err == nil {
+		t.Fatal("garbage sniffed as a valid chunk")
+	}
+}
+
+func TestEncodeChunkV2RejectsNegativeDuration(t *testing.T) {
+	var buf bytes.Buffer
+	err := EncodeChunkV2(&buf, []Event{{Kind: KindCPU, Cat: CatPython, Start: 10, End: 5}})
+	if err == nil {
+		t.Fatal("EncodeChunkV2 accepted negative duration")
+	}
+}
+
+// TestColumnChunkIteration exercises the zero-materialization surface: Events
+// must visit the same event values a full decode materializes, Times must
+// visit the same extents, and AppendEvents must materialize the same slice.
+func TestColumnChunkIteration(t *testing.T) {
+	events := randomEvents(rand.New(rand.NewSource(9)), 513)
+	frame := seedChunkV2(events)
+	cc, err := ParseColumnChunk(frame, NewInterner())
+	if err != nil {
+		t.Fatalf("ParseColumnChunk: %v", err)
+	}
+	if cc.Len() != len(events) {
+		t.Fatalf("Len = %d, want %d", cc.Len(), len(events))
+	}
+	var streamed []Event
+	if err := cc.Events(func(i int, e Event) bool {
+		if i != len(streamed) {
+			t.Fatalf("Events index %d out of order (want %d)", i, len(streamed))
+		}
+		streamed = append(streamed, e)
+		return true
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if !reflect.DeepEqual(events, streamed) {
+		t.Fatal("Events iteration != source events")
+	}
+	n := 0
+	if err := cc.Times(func(i int, start, end vclock.Time) bool {
+		if start != events[i].Start || end != events[i].End {
+			t.Fatalf("Times(%d) = [%d,%d], want [%d,%d]", i, start, end, events[i].Start, events[i].End)
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatalf("Times: %v", err)
+	}
+	if n != len(events) {
+		t.Fatalf("Times visited %d of %d events", n, len(events))
+	}
+	materialized, err := cc.AppendEvents(nil)
+	if err != nil {
+		t.Fatalf("AppendEvents: %v", err)
+	}
+	if !reflect.DeepEqual(events, materialized) {
+		t.Fatal("AppendEvents != source events")
+	}
+	// Early stop: the yield contract must be honored.
+	stops := 0
+	if err := cc.Events(func(int, Event) bool { stops++; return stops < 10 }); err != nil {
+		t.Fatalf("Events early stop: %v", err)
+	}
+	if stops != 10 {
+		t.Fatalf("Events visited %d events after yield returned false at 10", stops)
+	}
+}
+
+// TestWriterFormatV2 proves the end-to-end v2 write path: a Writer opened
+// with WithFormat(FormatV2) emits columnar chunks that ReadColumns serves
+// without materialization, and a chunk-order sweep reproduces the write
+// order exactly.
+func TestWriterFormatV2(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "trace")
+	w, err := NewWriter(dir, 2048, WithFormat(FormatV2))
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	events := randomEvents(rand.New(rand.NewSource(55)), 3000)
+	w.Append(events...)
+	if err := w.Close(Meta{Workload: "v2-writer-test"}); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if r.NumChunks() < 2 {
+		t.Fatalf("want multiple chunks, got %d", r.NumChunks())
+	}
+	var got []Event
+	for i := 0; i < r.NumChunks(); i++ {
+		cc, ok, err := r.ReadColumns(i)
+		if err != nil {
+			t.Fatalf("ReadColumns(%d): %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("chunk %d written by a v2 Writer is not columnar", i)
+		}
+		if got, err = cc.AppendEvents(got); err != nil {
+			t.Fatalf("AppendEvents(%d): %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("swept %d events != written %d events", len(got), len(events))
+	}
+}
+
+// TestReaderMixedVersionDir rewrites every other chunk of a v1 directory as
+// columnar and checks the Reader decodes the mix transparently: ReadChunk
+// yields the original event stream, and ReadColumns reports columnar exactly
+// for the rewritten chunks.
+func TestReaderMixedVersionDir(t *testing.T) {
+	dir, events := writeRandomTrace(t, 23, 3000, 4096)
+	r, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	if r.NumChunks() < 3 {
+		t.Fatalf("want >= 3 chunks, got %d", r.NumChunks())
+	}
+	converted := map[int]bool{}
+	for i := 0; i < r.NumChunks(); i += 2 {
+		buf, err := r.ReadChunk(i, nil)
+		if err != nil {
+			t.Fatalf("ReadChunk(%d): %v", i, err)
+		}
+		chunk, _, err := EncodeEventsFormat(buf, FormatV2)
+		if err != nil {
+			t.Fatalf("EncodeEventsFormat: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, r.ChunkName(i)), chunk, 0o644); err != nil {
+			t.Fatalf("rewriting chunk %d: %v", i, err)
+		}
+		converted[i] = true
+	}
+	r2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir after rewrite: %v", err)
+	}
+	var got []Event
+	var buf []Event
+	for i := 0; i < r2.NumChunks(); i++ {
+		_, columnar, err := r2.ReadColumns(i)
+		if err != nil {
+			t.Fatalf("ReadColumns(%d): %v", i, err)
+		}
+		if columnar != converted[i] {
+			t.Fatalf("chunk %d: columnar=%v, converted=%v", i, columnar, converted[i])
+		}
+		buf, err = r2.ReadChunk(i, buf[:0])
+		if err != nil {
+			t.Fatalf("ReadChunk(%d): %v", i, err)
+		}
+		got = append(got, buf...)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("mixed-version sweep %d events != written %d events", len(got), len(events))
+	}
+}
+
+// TestDecodeChunkV2Corrupt spot-checks the error contract on structurally
+// broken frames: an error (never a panic), mentioning decode context.
+func TestDecodeChunkV2Corrupt(t *testing.T) {
+	full := seedChunkV2(randomEvents(rand.New(rand.NewSource(101)), 128))
+	cases := map[string][]byte{
+		"empty":         {},
+		"magic only":    []byte("RLSC"),
+		"version only":  []byte("RLSC\x02"),
+		"huge count":    append([]byte("RLSC\x02\xff\xff\xff"), 0x7f),
+		"truncated 1/4": full[:len(full)/4],
+		"truncated 3/4": full[:3*len(full)/4],
+		"last byte cut": full[:len(full)-1],
+	}
+	for name, data := range cases {
+		if _, err := DecodeChunkBytes(data, nil); err == nil {
+			t.Errorf("%s: corrupt frame accepted", name)
+		} else if !strings.Contains(err.Error(), "trace:") {
+			t.Errorf("%s: error %q lacks package context", name, err)
+		}
+	}
+}

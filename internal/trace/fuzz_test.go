@@ -67,6 +67,111 @@ func FuzzDecodeChunk(f *testing.F) {
 	})
 }
 
+// seedChunkV2 encodes events columnar for the fuzz corpus.
+func seedChunkV2(events []Event) []byte {
+	var buf bytes.Buffer
+	if err := EncodeChunkV2(&buf, events); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeChunkV2 is FuzzDecodeChunk for the columnar format: the decoder
+// must never panic on garbage — truncated dictionaries, overflowing column
+// lengths, dangling dictionary references, huge counts — and anything it
+// accepts must be a fixed point of the v2 round trip. The seeds cover every
+// structural hazard: truncation at each region boundary, bit flips in the
+// column directory, and a count far larger than the column data could hold.
+func FuzzDecodeChunkV2(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RLSC"))
+	f.Add([]byte("RLSC\x02"))
+	f.Add(seedChunkV2(nil))
+	f.Add(seedChunkV2([]Event{
+		{Kind: KindOverhead, Overhead: OverheadCUPTI, Proc: 0, Start: 5, End: 5, Name: "cudaLaunchKernel"},
+		{Kind: KindTransition, Proc: 1, Start: 7, End: 7, Name: TransPythonToBackend},
+	}))
+	full := seedChunkV2(randomEvents(rand.New(rand.NewSource(31)), 64))
+	f.Add(full)
+	for _, cut := range []int{5, 6, 8, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if cut >= 0 && cut < len(full) {
+			f.Add(full[:cut])
+		}
+	}
+	f.Add(append([]byte("RLSC\x02\xff"), 0xff)) // huge count, no columns
+	flipped := append([]byte(nil), full...)
+	flipped[6] ^= 0x7f // mangle the dictionary/column directory region
+	f.Add(flipped)
+	flipped2 := append([]byte(nil), full...)
+	flipped2[len(flipped2)/3] ^= 0x40
+	f.Add(flipped2)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeChunk(bytes.NewReader(data), nil)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		for i, e := range events {
+			if e.End < e.Start {
+				t.Fatalf("decoder accepted event %d with End %d < Start %d", i, e.End, e.Start)
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeChunkV2(&buf, events); err != nil {
+			t.Fatalf("re-encoding %d decoded events failed: %v", len(events), err)
+		}
+		again, err := DecodeChunk(&buf, nil)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if len(events) == 0 && len(again) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatalf("round trip not a fixed point:\n first %+v\nsecond %+v", events, again)
+		}
+	})
+}
+
+// FuzzV1V2RoundTrip derives a pseudo-random event list and asserts that the
+// row and columnar encodings are interchangeable: both decode back to the
+// exact source list, so any analysis sees identical events regardless of
+// which format a chunk happens to be stored in.
+func FuzzV1V2RoundTrip(f *testing.F) {
+	f.Add(int64(0), uint16(0))
+	f.Add(int64(1), uint16(1))
+	f.Add(int64(42), uint16(300))
+	f.Add(int64(-7), uint16(4096))
+	f.Fuzz(func(t *testing.T, seed int64, size uint16) {
+		if size > 8192 {
+			size = 8192
+		}
+		events := randomEvents(rand.New(rand.NewSource(seed)), int(size))
+		v1 := seedChunk(events)
+		v2 := seedChunkV2(events)
+		gotV1, err := DecodeChunkBytes(v1, nil)
+		if err != nil {
+			t.Fatalf("decode v1: %v", err)
+		}
+		gotV2, err := DecodeChunkBytes(v2, nil)
+		if err != nil {
+			t.Fatalf("decode v2: %v", err)
+		}
+		if len(events) == 0 {
+			if len(gotV1) != 0 || len(gotV2) != 0 {
+				t.Fatalf("empty chunk decoded to %d/%d events", len(gotV1), len(gotV2))
+			}
+			return
+		}
+		if !reflect.DeepEqual(events, gotV1) {
+			t.Fatal("v1 round trip mismatch")
+		}
+		if !reflect.DeepEqual(events, gotV2) {
+			t.Fatal("v2 round trip mismatch")
+		}
+	})
+}
+
 // FuzzChunkRoundTrip derives a pseudo-random event list from the fuzz input
 // and asserts the encode/decode round trip exactly — the property-test
 // complement to FuzzDecodeChunk, fuzzing the encoder side (empty chunks and

@@ -101,11 +101,35 @@ func sidecarPath(chunkPath string) string {
 // served without decoding events, so an analysis never needs the whole trace
 // resident. Use ReadDir instead when the full materialized Trace is wanted.
 //
+// Chunk versions are detected per file, so a directory may mix v1 and v2
+// chunks freely. The Reader owns one Interner: every name decoded from any
+// chunk resolves to a shared string object, and all read scratch (the frame
+// buffer, the v2 column chunk, the sidecar buffer) is reused across calls —
+// a warm streaming pass over v2 chunks allocates essentially nothing.
+//
 // Reader methods are not safe for concurrent use.
 type Reader struct {
 	dir   string
 	names []string // chunk file names, sorted
 	meta  Meta
+
+	// paths and sidePaths hold the precomputed full paths of each chunk
+	// and its sidecar, so the per-chunk read loop never rebuilds them.
+	paths     []string
+	sidePaths []string
+
+	in     *Interner
+	frame  []byte // loaded chunk frame, reused across chunks
+	loaded int    // chunk index whose frame is in frame; -1 if none
+	cc     ColumnChunk
+	side   []byte // sidecar read buffer, reused across chunks
+
+	// ixCache holds each chunk's parsed sidecar index after its first
+	// Index call: the sidecars are immutable once written, so a warm
+	// Reader plans repeated streaming runs without touching the disk or
+	// the allocator.
+	ixCache []ChunkIndex
+	ixOK    []bool
 }
 
 // OpenDir opens a trace directory previously written by Writer: it lists
@@ -115,13 +139,19 @@ func OpenDir(dir string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading trace dir: %w", err)
 	}
-	r := &Reader{dir: dir}
+	r := &Reader{dir: dir, in: NewInterner(), loaded: -1}
 	for _, ent := range entries {
 		if strings.HasSuffix(ent.Name(), chunkSuffix) {
 			r.names = append(r.names, ent.Name())
 		}
 	}
 	sort.Strings(r.names)
+	r.paths = make([]string, len(r.names))
+	r.sidePaths = make([]string, len(r.names))
+	for i, name := range r.names {
+		r.paths[i] = filepath.Join(dir, name)
+		r.sidePaths[i] = filepath.Join(dir, sidecarPath(name))
+	}
 	metaData, err := os.ReadFile(filepath.Join(dir, metaFileName))
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading metadata: %w", err)
@@ -135,52 +165,132 @@ func OpenDir(dir string) (*Reader, error) {
 // Meta returns the run metadata.
 func (r *Reader) Meta() Meta { return r.meta }
 
+// Dir returns the directory the Reader reads from.
+func (r *Reader) Dir() string { return r.dir }
+
 // NumChunks reports the number of chunk files in the directory.
 func (r *Reader) NumChunks() int { return len(r.names) }
 
 // ChunkName returns the file name of chunk i.
 func (r *Reader) ChunkName(i int) string { return r.names[i] }
 
-// ReadChunk decodes chunk i, appending its events to dst and returning the
-// extended slice. Passing the previous call's slice re-sliced to [:0] reuses
-// its backing array, so a streaming loop allocates one buffer for the whole
-// trace. Decode failures are reported as *ChunkError.
-func (r *Reader) ReadChunk(i int, dst []Event) ([]Event, error) {
-	name := r.names[i]
-	f, err := os.Open(filepath.Join(r.dir, name))
-	if err != nil {
-		return dst, &ChunkError{Dir: r.dir, Chunk: name, Err: err}
+// load reads chunk i's frame into the reusable frame buffer. The previous
+// frame stays cached, so ReadColumns followed by ReadChunk on the same chunk
+// (the v1 fallback path) reads the file once.
+func (r *Reader) load(i int) ([]byte, error) {
+	if r.loaded == i {
+		return r.frame, nil
 	}
-	defer f.Close()
-	out, err := DecodeChunk(f, dst)
+	r.loaded = -1
+	name := r.names[i]
+	f, err := os.Open(r.paths[i])
 	if err != nil {
-		return out, &ChunkError{Dir: r.dir, Chunk: name, Err: err}
+		return nil, &ChunkError{Dir: r.dir, Chunk: name, Err: err}
+	}
+	r.frame, err = readAllInto(r.frame[:0], f)
+	f.Close()
+	if err != nil {
+		return nil, &ChunkError{Dir: r.dir, Chunk: name, Err: fmt.Errorf("trace: decode: reading chunk: %w", err)}
+	}
+	r.loaded = i
+	return r.frame, nil
+}
+
+// ReadChunk decodes chunk i — either format — appending its events to dst
+// and returning the extended slice. Passing the previous call's slice
+// re-sliced to [:0] reuses its backing array, so a streaming loop allocates
+// one buffer for the whole trace. Decode failures are reported as
+// *ChunkError.
+func (r *Reader) ReadChunk(i int, dst []Event) ([]Event, error) {
+	frame, err := r.load(i)
+	if err != nil {
+		return dst, err
+	}
+	out, err := decodeChunkBytes(frame, dst, r.in, &r.cc)
+	if err != nil {
+		return out, &ChunkError{Dir: r.dir, Chunk: r.names[i], Err: err}
 	}
 	return out, nil
 }
 
+// ReadColumns reads chunk i and, when it is columnar (v2), parses it into
+// the Reader's reusable ColumnChunk and returns it with ok = true — the
+// zero-materialization path: iterate it with Events or Times. For v1 chunks
+// it returns ok = false with no error; the caller falls back to ReadChunk,
+// which reuses the already-loaded frame. The returned ColumnChunk is valid
+// only until the next Reader call.
+func (r *Reader) ReadColumns(i int) (cc *ColumnChunk, ok bool, err error) {
+	frame, err := r.load(i)
+	if err != nil {
+		return nil, false, err
+	}
+	version, _, err := sniffVersion(frame)
+	if err != nil {
+		return nil, false, &ChunkError{Dir: r.dir, Chunk: r.names[i], Err: err}
+	}
+	if version != chunkVersion2 {
+		return nil, false, nil
+	}
+	if err := r.cc.Parse(frame, r.in); err != nil {
+		return nil, false, &ChunkError{Dir: r.dir, Chunk: r.names[i], Err: err}
+	}
+	return &r.cc, true, nil
+}
+
 // Index returns the sidecar index of chunk i. When the sidecar file is
 // missing or unreadable (traces written before sidecars existed), the chunk
-// is decoded once to rebuild the same index.
+// is decoded once to rebuild the same index. The returned index is cached
+// in the Reader — sidecars are immutable once written — and must be treated
+// as read-only; repeated planning passes over a warm Reader are served from
+// memory.
 func (r *Reader) Index(i int) (*ChunkIndex, error) {
-	path := filepath.Join(r.dir, sidecarPath(r.names[i]))
-	data, err := os.ReadFile(path)
+	if r.ixOK == nil {
+		r.ixOK = make([]bool, len(r.names))
+		r.ixCache = make([]ChunkIndex, len(r.names))
+	}
+	if !r.ixOK[i] {
+		if err := r.IndexInto(i, &r.ixCache[i]); err != nil {
+			return nil, err
+		}
+		r.ixOK[i] = true
+	}
+	return &r.ixCache[i], nil
+}
+
+// IndexInto is Index into a caller-reused ChunkIndex: ix's map and slices
+// are cleared and refilled, so a planning loop that copies what it needs out
+// of ix between calls touches the allocator only for map growth. Sidecars
+// are parsed with a specialized parser for the exact documents the Writer
+// emits, falling back to encoding/json for anything else.
+func (r *Reader) IndexInto(i int, ix *ChunkIndex) error {
+	f, err := os.Open(r.sidePaths[i])
 	if err == nil {
-		ix := &ChunkIndex{}
-		if jerr := json.Unmarshal(data, ix); jerr == nil && ix.Version == chunkVersion {
-			return ix, nil
+		r.side, err = readAllInto(r.side[:0], f)
+		f.Close()
+		if err != nil {
+			return &ChunkError{Dir: r.dir, Chunk: sidecarPath(r.names[i]), Err: err}
+		}
+		if parseSidecarInto(r.side, ix, r.in) && ix.Version == chunkVersion {
+			return nil
+		}
+		// Not the fast shape: let encoding/json have it.
+		*ix = ChunkIndex{Procs: ix.Procs, Phases: ix.Phases[:0]}
+		clear(ix.Procs)
+		if jerr := json.Unmarshal(r.side, ix); jerr == nil && ix.Version == chunkVersion {
+			return nil
 		}
 		// Corrupt or version-skewed sidecar: fall through to rebuild.
 	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, &ChunkError{Dir: r.dir, Chunk: sidecarPath(r.names[i]), Err: err}
+		return &ChunkError{Dir: r.dir, Chunk: sidecarPath(r.names[i]), Err: err}
 	}
 	events, err := r.ReadChunk(i, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var size int64
-	if fi, err := os.Stat(filepath.Join(r.dir, r.names[i])); err == nil {
+	if fi, err := os.Stat(r.paths[i]); err == nil {
 		size = fi.Size()
 	}
-	return BuildChunkIndex(events, size), nil
+	*ix = *BuildChunkIndex(events, size)
+	return nil
 }

@@ -1,7 +1,7 @@
 package trace
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/vclock"
 )
@@ -126,32 +126,35 @@ type Window struct {
 // slice are ignored, so callers may pass a full event list (Shards) or just
 // the phase events collected from chunk sidecars (the streaming planner).
 func PhasePartition(events []Event) []Window {
-	var phases []Event
-	cutSet := map[vclock.Time]bool{}
+	nphases := 0
+	for _, e := range events {
+		if e.Kind == KindPhase && e.End > e.Start {
+			nphases++
+		}
+	}
+	if nphases == 0 {
+		return []Window{{Lo: vclock.MinTime, Hi: vclock.MaxTime}}
+	}
+	phases := make([]Event, 0, nphases)
+	// Cut points, sorted and deduplicated in place: MinTime, every phase
+	// boundary, MaxTime. No set map — the streaming planner calls this once
+	// per process per run, so the partition should cost three exact
+	// allocations (phases, bounds, windows), not a hash table.
+	bounds := make([]vclock.Time, 0, 2*nphases+2)
+	bounds = append(bounds, vclock.MinTime)
 	for _, e := range events {
 		if e.Kind == KindPhase && e.End > e.Start {
 			phases = append(phases, e)
-			cutSet[e.Start] = true
-			cutSet[e.End] = true
+			bounds = append(bounds, e.Start, e.End)
 		}
 	}
-	if len(phases) == 0 {
-		return []Window{{Lo: vclock.MinTime, Hi: vclock.MaxTime}}
-	}
-	cuts := make([]vclock.Time, 0, len(cutSet))
-	for t := range cutSet {
-		cuts = append(cuts, t)
-	}
-	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
-
-	bounds := append([]vclock.Time{vclock.MinTime}, cuts...)
 	bounds = append(bounds, vclock.MaxTime)
-	var windows []Window
+	slices.Sort(bounds)
+	bounds = slices.Compact(bounds)
+
+	windows := make([]Window, 0, len(bounds)-1)
 	for i := 0; i+1 < len(bounds); i++ {
 		lo, hi := bounds[i], bounds[i+1]
-		if lo == hi {
-			continue
-		}
 		windows = append(windows, Window{Phase: coveringPhase(phases, lo, hi), Lo: lo, Hi: hi})
 	}
 	return windows

@@ -261,13 +261,27 @@ func (s *DirSink) Digest() string {
 	return hex.EncodeToString(clone.Sum(nil))
 }
 
-// EncodeEvents serializes events into one chunk frame plus its sidecar
+// EncodeEvents serializes events into one v1 chunk frame plus its sidecar
 // index — the exact pair a Writer flush produces — for callers that feed a
 // Sink directly (the network streaming path encodes on the client and
 // ships frames).
 func EncodeEvents(events []Event) (chunk []byte, index *ChunkIndex, err error) {
+	return EncodeEventsFormat(events, FormatV1)
+}
+
+// EncodeEventsFormat is EncodeEvents with an explicit chunk format. The
+// sidecar index is format-independent (its Version field is the sidecar
+// schema version, not the chunk's), so sinks — local directories, the
+// network ingest path — handle either format without caring which.
+func EncodeEventsFormat(events []Event, f Format) (chunk []byte, index *ChunkIndex, err error) {
 	var buf bytes.Buffer
-	if err := EncodeChunk(&buf, events); err != nil {
+	switch f {
+	case FormatV2:
+		err = EncodeChunkV2(&buf, events)
+	default:
+		err = EncodeChunk(&buf, events)
+	}
+	if err != nil {
 		return nil, nil, err
 	}
 	return buf.Bytes(), BuildChunkIndex(events, int64(buf.Len())), nil

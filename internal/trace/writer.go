@@ -31,11 +31,16 @@ const (
 type Writer struct {
 	sink       Sink
 	chunkBytes int
+	format     Format
 
 	mu      sync.Mutex
 	pending []Event
 	size    int
 	nchunks int
+	// names tracks the distinct names of the pending v2 chunk, so the
+	// flush threshold can estimate the encoded size (each name is stored
+	// once per chunk in the dictionary).
+	names map[string]struct{}
 
 	jobs    chan writeJob
 	done    chan struct{}
@@ -49,30 +54,52 @@ type writeJob struct {
 	events []Event
 }
 
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithFormat selects the chunk encoding the Writer emits. The default is
+// FormatV1, the historical byte-for-byte layout; FormatV2 writes columnar
+// chunks (and sizes them by estimated encoded bytes, so v2 chunk files pack
+// several times more events into the same chunkBytes budget).
+func WithFormat(f Format) WriterOption {
+	return func(w *Writer) {
+		if f.valid() {
+			w.format = f
+		}
+	}
+}
+
 // NewWriter creates the directory (if needed) and returns a Writer
 // flushing chunks of approximately chunkBytes serialized bytes into it.
 // Stale trace files from a previous run in the same directory are removed
 // first, so a rewrite can never leave orphaned higher-numbered chunks
 // behind. chunkBytes <= 0 uses DefaultChunkBytes.
-func NewWriter(dir string, chunkBytes int) (*Writer, error) {
+func NewWriter(dir string, chunkBytes int, opts ...WriterOption) (*Writer, error) {
 	sink, err := newDirSink(dir, true)
 	if err != nil {
 		return nil, err
 	}
-	return NewSinkWriter(sink, chunkBytes), nil
+	return NewSinkWriter(sink, chunkBytes, opts...), nil
 }
 
 // NewSinkWriter returns a Writer delivering its chunk frames to sink.
 // chunkBytes <= 0 uses DefaultChunkBytes.
-func NewSinkWriter(sink Sink, chunkBytes int) *Writer {
+func NewSinkWriter(sink Sink, chunkBytes int, opts ...WriterOption) *Writer {
 	if chunkBytes <= 0 {
 		chunkBytes = DefaultChunkBytes
 	}
 	w := &Writer{
 		sink:       sink,
 		chunkBytes: chunkBytes,
+		format:     FormatV1,
 		jobs:       make(chan writeJob, 16),
 		done:       make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	if w.format == FormatV2 {
+		w.names = map[string]struct{}{}
 	}
 	go w.writeLoop()
 	return w
@@ -84,7 +111,7 @@ func (w *Writer) writeLoop() {
 		// The sidecar index is derived from the same event slice the chunk
 		// was encoded from, so the two can never disagree; a streaming
 		// analysis plans chunk routing from it without decoding events.
-		chunk, ix, err := EncodeEvents(job.events)
+		chunk, ix, err := EncodeEventsFormat(job.events, w.format)
 		if err != nil {
 			w.setErr(err)
 			continue
@@ -107,9 +134,21 @@ func (w *Writer) Append(events ...Event) {
 	defer w.mu.Unlock()
 	for _, e := range events {
 		w.pending = append(w.pending, e)
-		// Estimated serialized size: fixed fields plus name bytes. An
-		// estimate is fine; chunk boundaries are not semantic.
-		w.size += eventBytes(e)
+		// Estimated serialized size. An estimate is fine; chunk boundaries
+		// are not semantic. The v1 estimate (fixed fields plus name bytes)
+		// tracks the resident footprint; the v2 estimate tracks the
+		// columnar encoding — a handful of bytes per event plus each
+		// distinct name once — so v2 chunk files carry several times more
+		// events for the same chunkBytes threshold.
+		if w.format == FormatV2 {
+			w.size += 6
+			if _, ok := w.names[e.Name]; !ok {
+				w.names[e.Name] = struct{}{}
+				w.size += len(e.Name) + 2
+			}
+		} else {
+			w.size += eventBytes(e)
+		}
 		if w.size >= w.chunkBytes {
 			w.flushLocked()
 		}
@@ -133,6 +172,9 @@ func (w *Writer) flushLocked() {
 	w.nchunks++
 	w.pending = nil
 	w.size = 0
+	if w.names != nil {
+		clear(w.names)
+	}
 }
 
 // Close flushes remaining events, waits for the background writer to
