@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -202,6 +203,30 @@ func (c *Client) Analyze(ctx context.Context, id string, req serve.AnalyzeReques
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.base+"/v1/traces/"+url.PathEscape(id)+"/analyze", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(hreq, func() io.Reader { return bytes.NewReader(data) })
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Query runs a fleet aggregation query (POST /v1/query) and returns the
+// encoded report.QueryDoc verbatim — the exact bytes rlscope-query prints
+// offline for the same traces and query, so cmp-level comparisons work.
+func (c *Client) Query(ctx context.Context, q fleet.Query) ([]byte, error) {
+	data, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}

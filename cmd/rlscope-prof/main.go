@@ -11,6 +11,9 @@
 // rlscope-serve store (POST /v1/traces/{id}/chunks) and sealed, instead of
 // (or in addition to) being written to a local -out directory.
 //
+// Repeatable -label k=v flags annotate the trace metadata; fleet queries
+// (rlscope-query, POST /v1/query) filter and group traces by these labels.
+//
 // Frameworks: graph (stable-baselines), autograph (tf-agents),
 // eager-tf (tf-agents eager), eager-pytorch (ReAgent).
 package main
@@ -47,6 +50,15 @@ func parseModel(s string) (backend.ExecModel, error) {
 }
 
 func main() {
+	labels := map[string]string{}
+	flag.Func("label", "attach a k=v label to the trace metadata (repeatable); fleet queries filter and group by labels", func(v string) error {
+		k, val, ok := strings.Cut(v, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("want -label key=value, got %q", v)
+		}
+		labels[k] = val
+		return nil
+	})
 	var (
 		algo      = flag.String("algo", "TD3", "RL algorithm: "+strings.Join(workloads.AlgorithmNames, "|"))
 		env       = flag.String("env", "Walker2D", "simulator: AirLearning|Ant|HalfCheetah|Hopper|Pong|Walker2D")
@@ -92,6 +104,9 @@ func main() {
 	stats, err := workloads.Run(spec, flags)
 	if err != nil {
 		fatal(err)
+	}
+	if len(labels) > 0 {
+		stats.Trace.Meta.Labels = labels
 	}
 	if *out != "" {
 		w, err := trace.NewWriter(*out, 0, trace.WithFormat(chunkFormat))

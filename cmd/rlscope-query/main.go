@@ -1,0 +1,203 @@
+// Command rlscope-query answers fleet aggregation queries over a set of
+// trace directories, offline — the same query DSL, the same exact
+// per-group result merge, and byte-for-byte the same output document as
+// rlscope-serve's POST /v1/query, so the two can be compared with cmp.
+//
+// Usage:
+//
+//	rlscope-query -group-by label.algo /traces/run1 /traces/run2 ...
+//	rlscope-query -filter 'workload=ppo-*' -filter label.framework=tf \
+//	    -group-by label.algo -metrics total_ns,gpu_ns,gpu_frac \
+//	    -trace a=/traces/run1 -trace b=/traces/run2
+//	rlscope-query -query '{"group_by":["label.algo"],"compare":{"baseline":{"label.algo":"dqn"}}}' \
+//	    -store-reports /var/lib/rlscope/reports /traces/*
+//
+// Traces are given as positional directories or repeatable -trace NAME=DIR
+// flags; a bare directory's id is its basename, exactly like rlscope-serve
+// -trace. The query comes either assembled from the convenience flags
+// (-filter/-group-by/-metrics) or verbatim as JSON (-query / -query-file);
+// the two modes are mutually exclusive.
+//
+// With -store-reports DIR, per-trace result sets are read from (and on
+// miss, written to) the same content-addressed report store rlscope-serve
+// maintains — point the flag at a server's directory and a warm query runs
+// zero analyses. Without it, every trace costs one Engine run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	rlscope "repro"
+	"repro/internal/fleet"
+	"repro/internal/overlap"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		queryJSON = flag.String("query", "", "fleet query as a JSON document (mutually exclusive with -filter/-group-by/-metrics)")
+		queryFile = flag.String("query-file", "", "read the JSON query from a file instead of -query")
+		groupBy   = flag.String("group-by", "", "comma-separated group dimensions: id, workload, label.<key>")
+		metrics   = flag.String("metrics", "", "comma-separated metrics (default total_ns,cpu_ns,gpu_ns,gpu_frac)")
+		reportDir = flag.String("store-reports", "", "content-addressed report store directory shared with rlscope-serve; misses are computed and written back")
+		workers   = flag.Int("workers", 0, "Engine workers per cold-trace analysis (0 = one per CPU)")
+	)
+	filter := map[string]string{}
+	flag.Func("filter", "filter clause k=v with glob patterns, e.g. 'workload=ppo-*' (repeatable)", func(v string) error {
+		k, val, ok := strings.Cut(v, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("want -filter dimension=pattern, got %q", v)
+		}
+		filter[k] = val
+		return nil
+	})
+	var traceArgs []string
+	flag.Func("trace", "trace directory to query, as DIR or NAME=DIR (repeatable)", func(v string) error {
+		traceArgs = append(traceArgs, v)
+		return nil
+	})
+	flag.Parse()
+	traceArgs = append(traceArgs, flag.Args()...)
+	if len(traceArgs) == 0 {
+		fmt.Fprintln(os.Stderr, "rlscope-query: at least one trace directory (positional or -trace NAME=DIR) is required")
+		os.Exit(2)
+	}
+
+	q, err := buildQuery(*queryJSON, *queryFile, filter, *groupBy, *metrics)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := fleet.Compile(q)
+	if err != nil {
+		fatal(err)
+	}
+
+	var store *serve.DiskStore
+	if *reportDir != "" {
+		if store, err = serve.NewDiskStore(*reportDir); err != nil {
+			fatal(err)
+		}
+	}
+
+	type candidate struct {
+		dir    string
+		digest string
+	}
+	byID := map[string]candidate{}
+	candidates := make([]fleet.Trace, 0, len(traceArgs))
+	for _, arg := range traceArgs {
+		id, dir, ok := strings.Cut(arg, "=")
+		if !ok {
+			dir = arg
+			id = filepath.Base(filepath.Clean(dir))
+		}
+		if _, dup := byID[id]; dup {
+			fatal(fmt.Errorf("duplicate trace id %q (name traces explicitly with -trace NAME=DIR)", id))
+		}
+		digest, err := trace.DirDigest(dir)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := trace.OpenDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		byID[id] = candidate{dir: dir, digest: digest}
+		candidates = append(candidates, fleet.Trace{ID: id, Meta: r.Meta()})
+	}
+
+	load := func(ctx context.Context, t fleet.Trace) (map[trace.ProcID]*overlap.Result, error) {
+		c := byID[t.ID]
+		key := serve.ResultSetKey(c.digest)
+		if store != nil {
+			if body, ok := store.Get(key); ok {
+				if results, err := report.DecodeResultSet(body); err == nil {
+					return results, nil
+				}
+			}
+		}
+		rep, err := rlscope.NewEngine(rlscope.WithWorkers(*workers)).Analyze(ctx, rlscope.FromDir(c.dir))
+		if err != nil {
+			return nil, err
+		}
+		if store != nil {
+			var buf bytes.Buffer
+			if err := report.EncodeResultSet(&buf, rep.Results); err == nil {
+				if err := store.Put(key, buf.Bytes()); err != nil {
+					fmt.Fprintln(os.Stderr, "rlscope-query: warning:", err)
+				}
+			}
+		}
+		return rep.Results, nil
+	}
+
+	doc, err := plan.Execute(context.Background(), candidates, load)
+	if err != nil {
+		fatal(err)
+	}
+	if err := doc.Encode(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// buildQuery assembles the fleet query from either the verbatim JSON
+// (-query/-query-file) or the convenience flags; mixing the two modes is
+// an error so there is never a question of which clause won.
+func buildQuery(queryJSON, queryFile string, filter map[string]string, groupBy, metrics string) (fleet.Query, error) {
+	var q fleet.Query
+	raw := queryJSON
+	if queryFile != "" {
+		if raw != "" {
+			return q, fmt.Errorf("-query and -query-file are mutually exclusive")
+		}
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return q, err
+		}
+		raw = string(data)
+	}
+	if raw != "" {
+		if len(filter) > 0 || groupBy != "" || metrics != "" {
+			return q, fmt.Errorf("-query/-query-file and -filter/-group-by/-metrics are mutually exclusive")
+		}
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&q); err != nil {
+			return q, fmt.Errorf("bad -query document: %w", err)
+		}
+		return q, nil
+	}
+	if len(filter) > 0 {
+		q.Filter = filter
+	}
+	q.GroupBy = splitCSV(groupBy)
+	q.Metrics = splitCSV(metrics)
+	return q, nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlscope-query:", err)
+	os.Exit(1)
+}

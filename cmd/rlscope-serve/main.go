@@ -21,7 +21,10 @@
 // Endpoints:
 //
 //	GET  /healthz                      service, cache, and budget health
-//	GET  /v1/traces                    all traces (id, digest, size, state)
+//	GET  /v1/traces                    all traces (id, digest, size, state);
+//	                                   ?id= ?workload= ?label.k= glob filters
+//	POST /v1/query                     fleet aggregation query over sealed
+//	                                   traces; body: the fleet query DSL
 //	POST /v1/traces                    open a live trace: {"id":"run42"}
 //	GET  /v1/traces/{id}/summary       sidecar summary: processes, extents, fork tree
 //	POST /v1/traces/{id}/analyze       run (or serve from cache) an analysis;
@@ -42,8 +45,8 @@
 // Usage:
 //
 //	rlscope-serve -listen :8080 -trace quickstart=/tmp/trace [-trace NAME=DIR ...] \
-//	    [-store /var/lib/rlscope/traces] [-cache-bytes N] [-max-workers N] \
-//	    [-calibration cal.json] [-drain-timeout 10s]
+//	    [-store /var/lib/rlscope/traces] [-store-reports /var/lib/rlscope/reports] \
+//	    [-cache-bytes N] [-max-workers N] [-calibration cal.json] [-drain-timeout 10s]
 package main
 
 import (
@@ -71,6 +74,7 @@ func main() {
 		calPath    = flag.String("calibration", "", "calibration JSON enabling {\"correction\":true} requests")
 		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
 		storeDir   = flag.String("store", "", "trace store directory enabling live ingest (POST /v1/traces/{id}/chunks)")
+		reportDir  = flag.String("store-reports", "", "persistent report store directory: cached reports and fleet result sets survive restarts and are shared by servers pointing at the same directory")
 	)
 	var traceArgs []string
 	flag.Func("trace", "trace directory to register, as DIR or NAME=DIR (repeatable)", func(v string) error {
@@ -84,7 +88,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := serve.Config{CacheBytes: *cacheBytes, MaxWorkers: *maxWorkers, StoreDir: *storeDir}
+	cfg := serve.Config{CacheBytes: *cacheBytes, MaxWorkers: *maxWorkers, StoreDir: *storeDir, ReportDir: *reportDir}
 	if *calPath != "" {
 		data, err := os.ReadFile(*calPath)
 		if err != nil {
@@ -97,7 +101,10 @@ func main() {
 		cfg.Calibration = cal
 	}
 
-	srv := serve.NewServer(cfg)
+	srv, err := serve.NewServerStrict(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	defer srv.Close()
 	for _, arg := range traceArgs {
 		id, dir, ok := strings.Cut(arg, "=")
@@ -133,7 +140,7 @@ func main() {
 	fmt.Fprintln(os.Stderr, "rlscope-serve: draining in-flight requests")
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err := httpSrv.Shutdown(shCtx)
+	err = httpSrv.Shutdown(shCtx)
 	srv.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlscope-serve: drain window expired, aborted in-flight analyses: %v\n", err)

@@ -184,6 +184,15 @@ func RunContext(ctx context.Context, t *trace.Trace, opts Options) (map[trace.Pr
 	return out, nil
 }
 
+// MergeResult folds src into dst with the exact deterministic merge the
+// sharded engine uses: commutative integer sums for breakdown cells and
+// transition counts, span extremes with the zero-span sentinel respected.
+// It is the primitive the fleet aggregation layer merges per-trace Results
+// with — merging N results this way is byte-identical (after rendering) to
+// one sweep over the concatenated inputs, the property the shard merge is
+// tested for.
+func MergeResult(dst, src *overlap.Result) { mergeShard(dst, src) }
+
 // mergeShard folds one shard result into the process accumulator. Span is
 // only merged from shards that saw interval events: ComputeWindow leaves
 // the span zeroed otherwise, and a process with no interval events must end

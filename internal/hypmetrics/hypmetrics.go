@@ -21,6 +21,8 @@ import (
 	"repro/client"
 	"repro/internal/backend"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/overlap"
 	"repro/internal/report"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -29,7 +31,7 @@ import (
 
 // Experiments lists every bundle id Metrics accepts.
 func Experiments() []string {
-	return append(append([]string{}, experiments.MetricExperiments...), "servecache", "ingest", "formatv2")
+	return append(append([]string{}, experiments.MetricExperiments...), "servecache", "ingest", "formatv2", "fleet")
 }
 
 // Metrics is the hypothesis.Source backing the committed grid.
@@ -41,6 +43,8 @@ func Metrics(ctx context.Context, experiment string, steps int, seed int64) (map
 		return ingestMetrics(ctx, steps, seed)
 	case "formatv2":
 		return formatv2Metrics(ctx, steps, seed)
+	case "fleet":
+		return fleetMetrics(ctx, steps, seed)
 	}
 	return experiments.Metrics(ctx, experiment, steps, seed)
 }
@@ -236,6 +240,126 @@ func formatv2Metrics(ctx context.Context, steps int, seed int64) (map[string]flo
 		"mixed_identical":  b2f(bytes.Equal(docV1, docMix)),
 		"convert_verified": b2f(cstats.Verified),
 		"size_ratio":       cstats.Ratio(),
+	}, nil
+}
+
+// fleetMetrics checks PR 9's fleet-analytics claim end to end: a grouped
+// POST /v1/query over several labeled runs must be byte-identical to the
+// offline fleet plan executed with fresh Engine runs per trace (the
+// rlscope-query path), and a server restarted over the same report-store
+// directory must answer the same bytes without a single Engine run.
+// Byte-equality plus run counters — a deterministic bundle.
+func fleetMetrics(ctx context.Context, steps int, seed int64) (map[string]float64, error) {
+	if steps <= 0 {
+		steps = 200
+	}
+	base, err := os.MkdirTemp("", "rlscope-hyp-fleet-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+
+	runs := []struct {
+		id, algo string
+		extra    int
+	}{
+		{"run-a", "ppo", 0},
+		{"run-b", "dqn", 40},
+		{"run-c", "a2c", 80},
+	}
+	dirs := map[string]string{}
+	var candidates []fleet.Trace
+	for i, run := range runs {
+		stats, err := workloads.Run(workloads.Spec{
+			Algo: "DDPG", Env: "Walker2D", Model: backend.Graph,
+			TotalSteps: steps + run.extra, Seed: seed + int64(i),
+		}, trace.Uninstrumented())
+		if err != nil {
+			return nil, fmt.Errorf("hypmetrics: fleet: %w", err)
+		}
+		stats.Trace.Meta.Labels = map[string]string{"algo": run.algo}
+		dir := filepath.Join(base, run.id)
+		w, err := trace.NewWriter(dir, 1<<16)
+		if err != nil {
+			return nil, err
+		}
+		w.Append(stats.Trace.Events...)
+		if err := w.Close(stats.Trace.Meta); err != nil {
+			return nil, err
+		}
+		dirs[run.id] = dir
+		candidates = append(candidates, fleet.Trace{ID: run.id, Meta: stats.Trace.Meta})
+	}
+
+	query := fleet.Query{
+		GroupBy: []string{"label.algo"},
+		Compare: &fleet.Compare{Baseline: map[string]string{"label.algo": "dqn"}},
+	}
+
+	// Offline oracle: the fleet plan executed with a fresh Engine run per
+	// trace — exactly what rlscope-query does without a store directory.
+	plan, err := fleet.Compile(query)
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: fleet: %w", err)
+	}
+	doc, err := plan.Execute(ctx, candidates, func(ctx context.Context, t fleet.Trace) (map[trace.ProcID]*overlap.Result, error) {
+		rep, err := rlscope.NewEngine(rlscope.WithWorkers(1)).Analyze(ctx, rlscope.FromDir(dirs[t.ID]))
+		if err != nil {
+			return nil, err
+		}
+		return rep.Results, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hypmetrics: fleet: offline execute: %w", err)
+	}
+	var offline bytes.Buffer
+	if err := doc.Encode(&offline); err != nil {
+		return nil, err
+	}
+
+	reportDir := filepath.Join(base, "reports")
+	serveQuery := func() ([]byte, int64, error) {
+		s, err := serve.NewServerStrict(serve.Config{ReportDir: reportDir})
+		if err != nil {
+			return nil, 0, fmt.Errorf("hypmetrics: fleet: %w", err)
+		}
+		defer s.Close()
+		for _, run := range runs {
+			if _, err := s.AddDir(run.id, dirs[run.id]); err != nil {
+				return nil, 0, fmt.Errorf("hypmetrics: fleet: %w", err)
+			}
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		body, err := client.New(ts.URL).Query(ctx, query)
+		if err != nil {
+			return nil, 0, fmt.Errorf("hypmetrics: fleet: query: %w", err)
+		}
+		return body, s.EngineRuns(), nil
+	}
+
+	// Cold server: one Engine run per trace, result sets land in the store.
+	cold, coldRuns, err := serveQuery()
+	if err != nil {
+		return nil, err
+	}
+	// Restarted server over the same store directory: zero Engine runs.
+	warm, warmRuns, err := serveQuery()
+	if err != nil {
+		return nil, err
+	}
+
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return map[string]float64{
+		"grouped_exact":          b2f(bytes.Equal(cold, offline.Bytes())),
+		"warm_restart_identical": b2f(bytes.Equal(warm, cold)),
+		"cold_engine_runs":       float64(coldRuns),
+		"warm_engine_runs":       float64(warmRuns),
 	}, nil
 }
 

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/overlap"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// randomResults builds a randomized per-process result map, including the
+// zero-span case (a process with counters but no interval events).
+func randomResults(rng *rand.Rand) map[trace.ProcID]*overlap.Result {
+	ops := []string{"inference", "simulation", "backpropagation", ""}
+	labels := []string{trace.TransPythonToBackend, trace.TransPythonToSimulator}
+	out := map[trace.ProcID]*overlap.Result{}
+	for p := 0; p < 1+rng.Intn(4); p++ {
+		res := &overlap.Result{
+			ByKey:       map[overlap.Key]vclock.Duration{},
+			Transitions: map[overlap.TransitionKey]int{},
+		}
+		for i := 0; i < rng.Intn(20); i++ {
+			k := overlap.Key{
+				Op:  ops[rng.Intn(len(ops))],
+				Res: overlap.ResourceSet(rng.Intn(4)),
+				Cat: trace.Category(rng.Intn(8)),
+			}
+			res.ByKey[k] += vclock.Duration(rng.Intn(1_000_000))
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			k := overlap.TransitionKey{Op: ops[rng.Intn(len(ops))], Label: labels[rng.Intn(len(labels))]}
+			res.Transitions[k] += 1 + rng.Intn(10)
+		}
+		if rng.Intn(4) > 0 { // leave some processes with the zero-span sentinel
+			res.SpanStart = vclock.Time(rng.Intn(1000))
+			res.SpanEnd = res.SpanStart + vclock.Time(rng.Intn(100_000))
+		}
+		out[trace.ProcID(p)] = res
+	}
+	return out
+}
+
+// TestResultSetRoundTrip: DecodeResultSet(EncodeResultSet(r)) reconstructs
+// the result map cell-for-cell, and re-encoding the reconstruction is
+// byte-identical — the property the fleet store depends on for exactness.
+func TestResultSetRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		results := randomResults(rand.New(rand.NewSource(seed)))
+		var first bytes.Buffer
+		if err := EncodeResultSet(&first, results); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeResultSet(first.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(decoded, results) {
+			t.Fatalf("seed %d: decoded result map differs from original", seed)
+		}
+		var second bytes.Buffer
+		if err := EncodeResultSet(&second, decoded); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("seed %d: re-encoding is not byte-identical:\n%s\nvs\n%s", seed, first.String(), second.String())
+		}
+	}
+}
+
+// TestResultSetDeterministicEncoding: equal maps encode to equal bytes
+// regardless of insertion order (maps iterate randomly, so one pass with
+// shuffled construction covers it).
+func TestResultSetDeterministicEncoding(t *testing.T) {
+	results := randomResults(rand.New(rand.NewSource(7)))
+	var want bytes.Buffer
+	if err := EncodeResultSet(&want, results); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var got bytes.Buffer
+		if err := EncodeResultSet(&got, results); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("iteration %d: encoding varies across calls", i)
+		}
+	}
+}
+
+// TestResultSetVersionGate: a blob with a different schema version decodes
+// to an error, so stale store entries are recomputed rather than trusted.
+func TestResultSetVersionGate(t *testing.T) {
+	bad := []byte(fmt.Sprintf(`{"version":%d,"procs":[]}`, ResultSetVersion+1))
+	if _, err := DecodeResultSet(bad); err == nil {
+		t.Fatal("future-version result set accepted")
+	}
+	if _, err := DecodeResultSet([]byte("not json")); err == nil {
+		t.Fatal("malformed result set accepted")
+	}
+}
+
+// TestResultSetCellOrdering pins the canonical sort: procs ascend, cells
+// by (op, res, cat), transitions by (op, label).
+func TestResultSetCellOrdering(t *testing.T) {
+	res := &overlap.Result{
+		ByKey: map[overlap.Key]vclock.Duration{
+			{Op: "b", Res: 1, Cat: 0}: 1,
+			{Op: "a", Res: 2, Cat: 1}: 2,
+			{Op: "a", Res: 1, Cat: 2}: 3,
+			{Op: "a", Res: 1, Cat: 1}: 4,
+		},
+		Transitions: map[overlap.TransitionKey]int{
+			{Op: "b", Label: "x"}: 1,
+			{Op: "a", Label: "y"}: 2,
+			{Op: "a", Label: "x"}: 3,
+		},
+	}
+	rs := NewResultSet(map[trace.ProcID]*overlap.Result{3: res, 1: res, 2: res})
+	if got := []trace.ProcID{rs.Procs[0].Proc, rs.Procs[1].Proc, rs.Procs[2].Proc}; got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("procs not ascending: %v", got)
+	}
+	cells := rs.Procs[0].Cells
+	wantCells := []ResultCellJSON{
+		{Op: "a", Res: 1, Cat: 1, DurNS: 4},
+		{Op: "a", Res: 1, Cat: 2, DurNS: 3},
+		{Op: "a", Res: 2, Cat: 1, DurNS: 2},
+		{Op: "b", Res: 1, Cat: 0, DurNS: 1},
+	}
+	if !reflect.DeepEqual(cells, wantCells) {
+		t.Fatalf("cell order %v, want %v", cells, wantCells)
+	}
+	trans := rs.Procs[0].Transitions
+	wantTrans := []TransitionCellJSON{
+		{Op: "a", Label: "x", Count: 3},
+		{Op: "a", Label: "y", Count: 2},
+		{Op: "b", Label: "x", Count: 1},
+	}
+	if !reflect.DeepEqual(trans, wantTrans) {
+		t.Fatalf("transition order %v, want %v", trans, wantTrans)
+	}
+}

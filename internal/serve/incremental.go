@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	rlscope "repro"
 	"repro/internal/analysis"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -69,6 +70,10 @@ type liveTrace struct {
 	lastDigest string
 	lastProcs  string
 	lastBody   []byte
+	// finalStats preserves the incremental counters after sealing evicts
+	// the resident state (inc == nil): the trace is immutable from then
+	// on, so the counters are final.
+	finalStats analysis.IncrementalStats
 }
 
 // AppendResponse is the POST /v1/traces/{id}/chunks response body.
@@ -346,7 +351,7 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		lt.meta = meta
 		lt.hasMeta = true
-		lt.lastBody = nil // cached doc predates the metadata
+		s.evictSealed(lt)
 	}
 	lt.amu.Unlock()
 	if err != nil {
@@ -354,6 +359,40 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SealResponse{ID: lt.id, Chunks: lt.sink.Chunks(), Digest: lt.sink.Digest()})
+}
+
+// evictSealed retires a just-sealed trace's resident incremental state.
+// A sealed trace is immutable, so its analysis is computed once, here:
+// any still-pending chunks are drained as the final epoch, the final
+// result-only document is cached under the final digest (repeated
+// analyzes keep costing zero Engine runs), the full-fidelity result set
+// lands in the report store for fleet queries, and the Incremental —
+// which holds every decoded event resident — is dropped. Called with
+// lt.amu held, immediately after a successful sink.Seal.
+func (s *Server) evictSealed(lt *liveTrace) {
+	lt.pmu.Lock()
+	batch := lt.pending
+	lt.pending = nil
+	digest := lt.sink.Digest()
+	lt.pmu.Unlock()
+	if len(batch) > 0 {
+		lt.inc.Apply(batch)
+	}
+	results := lt.inc.Results(nil)
+	lt.lastBody = nil // cached doc predates the seal metadata
+	doc := report.NewResultAnalysis(lt.meta, results, false)
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err == nil {
+		lt.lastBody = buf.Bytes()
+		lt.lastDigest = digest
+		lt.lastProcs = ""
+	}
+	var rsBuf bytes.Buffer
+	if err := report.EncodeResultSet(&rsBuf, results); err == nil {
+		s.store.add(resultSetKey(digest), rsBuf.Bytes())
+	}
+	lt.finalStats = lt.inc.Stats()
+	lt.inc = nil
 }
 
 // analyzeLive answers POST /v1/traces/{id}/analyze for a live-ingested
@@ -385,7 +424,7 @@ func (s *Server) analyzeLive(w http.ResponseWriter, r *http.Request, lt *liveTra
 	lt.pending = nil
 	digest := lt.sink.Digest()
 	lt.pmu.Unlock()
-	if len(batch) > 0 {
+	if len(batch) > 0 && lt.inc != nil {
 		lt.inc.Apply(batch)
 	}
 
@@ -402,6 +441,16 @@ func (s *Server) analyzeLive(w http.ResponseWriter, r *http.Request, lt *liveTra
 		return
 	}
 
+	if lt.inc == nil {
+		// Sealing evicted the resident state and cached the unfiltered
+		// final document above; reaching here means a different process
+		// filter. The sealed directory is complete on disk, so answer
+		// with a one-shot Engine run over it — the cold path a filtered
+		// query of any registered trace pays.
+		s.analyzeEvicted(w, r, lt, c, digest, procsKey)
+		return
+	}
+
 	var filter map[trace.ProcID]bool
 	if len(c.procs) > 0 {
 		filter = make(map[trace.ProcID]bool, len(c.procs))
@@ -411,6 +460,40 @@ func (s *Server) analyzeLive(w http.ResponseWriter, r *http.Request, lt *liveTra
 	}
 	results := lt.inc.Results(filter)
 	doc := report.NewResultAnalysis(lt.meta, results, false)
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed, "encoding report: "+err.Error())
+		return
+	}
+	lt.lastBody = buf.Bytes()
+	lt.lastDigest = digest
+	lt.lastProcs = procsKey
+	w.Header().Set("X-RLScope-Cache", "miss")
+	writeBody(w, lt.lastBody)
+}
+
+// analyzeEvicted answers a filtered analyze of a sealed, evicted live
+// trace with one Engine run over its directory, producing the same
+// result-only document shape the incremental path serves. Called with
+// lt.amu held, which serializes runs per trace exactly like the
+// incremental path it replaces.
+func (s *Server) analyzeEvicted(w http.ResponseWriter, r *http.Request, lt *liveTrace, c canonical, digest, procsKey string) {
+	if err := s.budget.acquire(r.Context(), c.workers); err != nil {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeAnalysisAborted, "analysis aborted: "+err.Error())
+		return
+	}
+	defer s.budget.release(c.workers)
+	s.engineRuns.Add(1)
+	rep, err := rlscope.NewEngine(
+		rlscope.WithWorkers(c.workers),
+		rlscope.WithMaxResidentBytes(c.maxResident),
+		rlscope.WithProcesses(c.procs...),
+	).Analyze(r.Context(), rlscope.FromDir(lt.sink.Dir()))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed, "analysis failed: "+err.Error())
+		return
+	}
+	doc := report.NewResultAnalysis(rep.Meta, rep.Results, false)
 	var buf bytes.Buffer
 	if err := doc.Encode(&buf); err != nil {
 		writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed, "encoding report: "+err.Error())
@@ -460,6 +543,7 @@ func (lt *liveTrace) liveInfo() TraceInfo {
 	}
 	lt.amu.Lock()
 	info.Workload = lt.meta.Workload
+	info.Labels = lt.meta.Labels
 	lt.amu.Unlock()
 	return info
 }
@@ -490,5 +574,8 @@ func (s *Server) IncrementalStats(id string) (stats analysis.IncrementalStats, o
 	}
 	lt.amu.Lock()
 	defer lt.amu.Unlock()
+	if lt.inc == nil {
+		return lt.finalStats, true
+	}
 	return lt.inc.Stats(), true
 }

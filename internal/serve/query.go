@@ -1,0 +1,195 @@
+// Fleet queries: POST /v1/query answers cross-trace aggregation questions
+// over every sealed trace the server knows — registered directories and
+// sealed live-ingested traces alike. The query body is the fleet DSL
+// (fleet.Query); the response is the byte-stable report.QueryDoc the
+// offline rlscope-query CLI prints for the same traces and query, so the
+// two can be compared with cmp.
+//
+// Per-trace results come from the tiered report store: the full-fidelity
+// result set of each trace is cached under its content digest alone
+// (resultSetKey — results are byte-identical at any worker count, so no
+// options belong in the key), which makes an N-trace query over a warm
+// store N store lookups plus an exact in-memory merge, zero Engine runs.
+// Misses fall back to a singleflight-deduplicated Engine run whose encoded
+// result set immediately lands back in the store — on disk when the server
+// has a -store-reports directory, so the warmth survives restarts and is
+// shared by every server pointed at the same directory.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	rlscope "repro"
+	"repro/internal/analysis"
+	"repro/internal/fleet"
+	"repro/internal/overlap"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// ResultSetKey addresses a trace's full-fidelity result set in the report
+// store by content digest alone — no analysis options belong in the key
+// because results are byte-identical at any worker count. The "rs|" prefix
+// keeps result-set blobs disjoint from analysis documents, whose keys
+// start with the bare digest. Exported so rlscope-query reading a shared
+// -store-reports directory addresses the same entries the server writes.
+func ResultSetKey(digest string) string { return "rs|" + digest }
+
+func resultSetKey(digest string) string { return ResultSetKey(digest) }
+
+// queryCandidate pairs a fleet candidate with what the loader needs to
+// produce its results: the content digest (store address) and the trace
+// directory (Engine fallback).
+type queryCandidate struct {
+	t      fleet.Trace
+	digest string
+	dir    string
+}
+
+// handleQuery is POST /v1/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q fleet.Query
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad query body: "+err.Error())
+		return
+	}
+	plan, err := fleet.Compile(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error())
+		return
+	}
+
+	candidates := s.queryCandidates()
+	byID := make(map[string]queryCandidate, len(candidates))
+	traces := make([]fleet.Trace, 0, len(candidates))
+	for _, c := range candidates {
+		byID[c.t.ID] = c
+		traces = append(traces, c.t)
+	}
+
+	// engineRuns counts the Engine work this query itself paid for —
+	// runs another in-flight query computed (singleflight shared) or the
+	// store absorbed don't count, which is exactly what a warm-store
+	// assertion wants to read.
+	var engineRuns atomic.Int64
+	doc, err := plan.Execute(r.Context(), traces, func(ctx context.Context, t fleet.Trace) (map[trace.ProcID]*overlap.Result, error) {
+		return s.loadResults(ctx, byID[t.ID], &engineRuns)
+	})
+	if err != nil {
+		var qerr *fleet.QueryError
+		switch {
+		case errors.As(err, &qerr):
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error())
+		case r.Context().Err() != nil:
+			// The client is gone; nothing useful can be written.
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusServiceUnavailable, ErrCodeAnalysisAborted, "query aborted: "+err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed, "query failed: "+err.Error())
+		}
+		return
+	}
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, ErrCodeAnalysisFailed, "encoding query document: "+err.Error())
+		return
+	}
+	w.Header().Set("X-RLScope-Engine-Runs", strconv.FormatInt(engineRuns.Load(), 10))
+	writeBody(w, buf.Bytes())
+}
+
+// queryCandidates snapshots every sealed trace as a fleet candidate:
+// registered directories plus sealed live traces. Open live traces are
+// excluded — their content (and digest) is still moving, so they have no
+// stable result set to aggregate; seal them to make them queryable.
+func (s *Server) queryCandidates() []queryCandidate {
+	s.mu.RLock()
+	entries := make([]*traceEntry, 0, len(s.ids))
+	for _, id := range s.ids {
+		entries = append(entries, s.traces[id])
+	}
+	lives := make([]*liveTrace, 0, len(s.liveIDs))
+	for _, id := range s.liveIDs {
+		lives = append(lives, s.lives[id])
+	}
+	s.mu.RUnlock()
+	out := make([]queryCandidate, 0, len(entries)+len(lives))
+	for _, e := range entries {
+		out = append(out, queryCandidate{
+			t:      fleet.Trace{ID: e.id, Meta: e.meta},
+			digest: e.info.Digest,
+			dir:    e.dir,
+		})
+	}
+	for _, lt := range lives {
+		lt.pmu.Lock()
+		sealed := lt.sink.Sealed()
+		digest := lt.sink.Digest()
+		lt.pmu.Unlock()
+		if !sealed {
+			continue
+		}
+		lt.amu.Lock()
+		meta := lt.meta
+		lt.amu.Unlock()
+		out = append(out, queryCandidate{
+			t:      fleet.Trace{ID: lt.id, Meta: meta},
+			digest: digest,
+			dir:    lt.sink.Dir(),
+		})
+	}
+	return out
+}
+
+// loadResults is the server's fleet.ResultLoader: tiered store lookup by
+// content digest, singleflight-deduplicated Engine run on a miss, encoded
+// result set written back through both tiers.
+func (s *Server) loadResults(ctx context.Context, c queryCandidate, engineRuns *atomic.Int64) (map[trace.ProcID]*overlap.Result, error) {
+	if c.digest == "" {
+		return nil, fmt.Errorf("serve: no candidate for trace")
+	}
+	key := resultSetKey(c.digest)
+	if body, ok := s.store.get(key); ok {
+		if results, err := report.DecodeResultSet(body); err == nil {
+			return results, nil
+		}
+		// A stale or corrupt blob (version bump, torn disk entry the
+		// frame check missed) is a miss: recompute and overwrite.
+	}
+	body, _, err := s.flights.do(ctx, key, func(runCtx context.Context) ([]byte, error) {
+		if body, ok := s.store.get(key); ok {
+			return body, nil
+		}
+		workers := analysis.ClampWorkers(0, s.cfg.MaxWorkers)
+		if err := s.budget.acquire(runCtx, workers); err != nil {
+			return nil, err
+		}
+		defer s.budget.release(workers)
+		s.engineRuns.Add(1)
+		engineRuns.Add(1)
+		rep, err := rlscope.NewEngine(rlscope.WithWorkers(workers)).Analyze(runCtx, rlscope.FromDir(c.dir))
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := report.EncodeResultSet(&buf, rep.Results); err != nil {
+			return nil, err
+		}
+		body := buf.Bytes()
+		s.store.add(key, body)
+		return body, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report.DecodeResultSet(body)
+}

@@ -36,6 +36,7 @@ import (
 	rlscope "repro"
 	"repro/internal/analysis"
 	"repro/internal/calib"
+	"repro/internal/fleet"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	// creates trace directories under it on first write. Empty disables
 	// the write path (ingest requests fail with 403 ingest_disabled).
 	StoreDir string
+	// ReportDir, when set, adds a persistent content-addressed report
+	// store under the LRU: encoded reports land on disk keyed by (digest,
+	// canonical options), so cache warmth survives restarts and a fleet
+	// of servers sharing one directory share one store. Empty keeps the
+	// cache in-memory only.
+	ReportDir string
 }
 
 // DefaultCacheBytes is the report-cache budget selected by Config.CacheBytes <= 0.
@@ -78,7 +85,7 @@ type Server struct {
 	lives   map[string]*liveTrace
 	liveIDs []string // first-write order
 
-	cache   *reportCache
+	store   *tieredStore
 	flights *flightGroup
 	budget  *workerBudget
 
@@ -110,9 +117,13 @@ type TraceInfo struct {
 	ID       string `json:"id"`
 	Digest   string `json:"digest"`
 	Workload string `json:"workload"`
-	Chunks   int    `json:"chunks"`
-	Events   int    `json:"events"`
-	Procs    int    `json:"procs"`
+	// Labels are the trace's free-form metadata annotations
+	// (rlscope-prof -label k=v) — the dimensions fleet queries filter
+	// and group by.
+	Labels map[string]string `json:"labels,omitempty"`
+	Chunks int               `json:"chunks"`
+	Events int               `json:"events"`
+	Procs  int               `json:"procs"`
 	// State is "sealed" for finalized traces (every registered directory,
 	// and live traces after /seal) and "open" for live traces still
 	// accepting chunks.
@@ -157,8 +168,17 @@ type AnalyzeRequest struct {
 	Procs []trace.ProcID `json:"procs,omitempty"`
 }
 
-// NewServer builds a Server from cfg. Call Close when done with it.
+// NewServer builds a Server from cfg. Call Close when done with it. An
+// unusable ReportDir is reported by falling back to the in-memory tier
+// alone — use NewServerStrict when a missing store must be an error.
 func NewServer(cfg Config) *Server {
+	s, _ := NewServerStrict(cfg)
+	return s
+}
+
+// NewServerStrict is NewServer, but a ReportDir that cannot be created is
+// returned as an error alongside the (LRU-only) server.
+func NewServerStrict(cfg Config) (*Server, error) {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = DefaultCacheBytes
 	}
@@ -166,16 +186,21 @@ func NewServer(cfg Config) *Server {
 		cfg.MaxWorkers = analysis.DefaultWorkers()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	store := &tieredStore{lru: newReportCache(cfg.CacheBytes)}
+	var err error
+	if cfg.ReportDir != "" {
+		store.disk, err = NewDiskStore(cfg.ReportDir)
+	}
 	return &Server{
 		cfg:     cfg,
 		baseCtx: ctx,
 		stop:    cancel,
 		traces:  map[string]*traceEntry{},
 		lives:   map[string]*liveTrace{},
-		cache:   newReportCache(cfg.CacheBytes),
+		store:   store,
 		flights: newFlightGroup(ctx),
 		budget:  newWorkerBudget(cfg.MaxWorkers),
-	}
+	}, err
 }
 
 // Close aborts every in-flight Engine run (their contexts descend from the
@@ -234,6 +259,7 @@ func newTraceEntry(id, dir string) (*traceEntry, error) {
 	summary.ID = id
 	summary.Digest = digest
 	summary.Workload = meta.Workload
+	summary.Labels = meta.Labels
 	summary.State = StateSealed
 	return &traceEntry{id: id, info: summary.TraceInfo, dir: dir, meta: meta, summary: summary}, nil
 }
@@ -325,6 +351,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/traces/{id}/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/traces/{id}/chunks", s.handleAppendChunk)
 	mux.HandleFunc("POST /v1/traces/{id}/seal", s.handleSeal)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	return mux
 }
 
@@ -334,6 +361,7 @@ type healthResponse struct {
 	EngineRuns int64        `json:"engine_runs"`
 	Workers    workerHealth `json:"workers"`
 	Cache      cacheStats   `json:"cache"`
+	Store      storeStats   `json:"store"`
 }
 
 type workerHealth struct {
@@ -350,29 +378,68 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Traces:     n,
 		EngineRuns: s.engineRuns.Load(),
 		Workers:    workerHealth{Total: s.cfg.MaxWorkers, Available: s.budget.available()},
-		Cache:      s.cache.stats(),
+		Cache:      s.store.lru.stats(),
+		Store:      s.store.stats(),
 	})
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	// ?id=, ?workload=, and ?label.k= filter the listing with the same
+	// glob matcher the fleet query DSL uses (fleet.NewMatcher), so the
+	// two front doors agree on what "workload=ppo-*" selects.
+	matcher, err := listFilter(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad trace filter: "+err.Error())
+		return
+	}
 	s.mu.RLock()
-	infos := make([]TraceInfo, 0, len(s.ids)+len(s.liveIDs))
+	entries := make([]*traceEntry, 0, len(s.ids))
 	for _, id := range s.ids {
-		infos = append(infos, s.traces[id].info)
+		entries = append(entries, s.traces[id])
 	}
 	lives := make([]*liveTrace, 0, len(s.liveIDs))
 	for _, id := range s.liveIDs {
 		lives = append(lives, s.lives[id])
 	}
 	s.mu.RUnlock()
+	infos := make([]TraceInfo, 0, len(entries)+len(lives))
+	for _, entry := range entries {
+		if matcher == nil || matcher.Match(fleet.Trace{ID: entry.id, Meta: entry.meta}) {
+			infos = append(infos, entry.info)
+		}
+	}
 	// Live rows are snapshotted outside the registry lock: each one takes
 	// its trace's own ingest lock, which an in-flight append may hold.
 	for _, lt := range lives {
-		infos = append(infos, lt.liveInfo())
+		info := lt.liveInfo()
+		if matcher == nil || matcher.Match(fleet.Trace{ID: info.ID, Meta: trace.Meta{Workload: info.Workload, Labels: info.Labels}}) {
+			infos = append(infos, info)
+		}
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Traces []TraceInfo `json:"traces"`
 	}{infos})
+}
+
+// listFilter builds a fleet matcher from GET /v1/traces query parameters.
+// Every parameter whose name is a valid filter dimension participates;
+// anything else is rejected so typos fail loudly rather than matching
+// everything.
+func listFilter(params map[string][]string) (*fleet.Matcher, error) {
+	filter := map[string]string{}
+	for name, vals := range params {
+		if !fleet.ValidDimension(name) {
+			return nil, fmt.Errorf("unknown filter parameter %q (want id, workload, or label.<key>)", name)
+		}
+		if len(vals) > 1 {
+			return nil, fmt.Errorf("filter parameter %q repeated", name)
+		}
+		filter[name] = vals[0]
+	}
+	if len(filter) == 0 {
+		return nil, nil
+	}
+	return fleet.NewMatcher(filter)
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
@@ -478,7 +545,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey(entry.info.Digest, c)
 
 	w.Header().Set("X-RLScope-Digest", entry.info.Digest)
-	if body, ok := s.cache.get(key); ok {
+	if body, ok := s.store.get(key); ok {
 		// Content hit: the stored bytes answer the request with zero
 		// Engine (and zero encoding) work.
 		w.Header().Set("X-RLScope-Cache", "hit")
@@ -488,7 +555,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	body, shared, err := s.flights.do(r.Context(), key, func(runCtx context.Context) ([]byte, error) {
 		// A flight that lost a fill race can still answer from cache.
-		if body, ok := s.cache.get(key); ok {
+		if body, ok := s.store.get(key); ok {
 			return body, nil
 		}
 		// Every miss pays an Engine run, so re-digesting first is cheap
@@ -541,7 +608,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		body := buf.Bytes()
-		s.cache.add(storeKey, body)
+		s.store.add(storeKey, body)
 		return body, nil
 	})
 	if err != nil {

@@ -404,11 +404,11 @@ func TestCacheEviction(t *testing.T) {
 	h := s.Handler()
 	doReq(t, h, "POST", "/v1/traces/qs/analyze", `{"workers":1}`)
 	doReq(t, h, "POST", "/v1/traces/qs/analyze", `{"workers":1,"max_resident_bytes":4096}`)
-	st := s.cache.stats()
+	st := s.store.lru.stats()
 	if st.Evictions < 1 {
 		t.Fatalf("no eviction under a one-document budget: %+v", st)
 	}
-	if st.Bytes > s.cache.max {
+	if st.Bytes > s.store.lru.max {
 		t.Fatalf("cache over budget: %+v", st)
 	}
 	rec := doReq(t, h, "POST", "/v1/traces/qs/analyze", `{"workers":1}`)

@@ -21,6 +21,12 @@ type Trace struct {
 type Meta struct {
 	// Workload is a human-readable workload label, e.g. "td3-walker2d".
 	Workload string `json:"workload"`
+	// Labels are free-form key/value annotations attached at profiling
+	// time (rlscope-prof -label k=v): algorithm, framework, simulator,
+	// experiment id — whatever a fleet of runs later wants to filter and
+	// group by. Labels live in meta.json, so they are part of the trace's
+	// content digest and survive conversion and live ingest unchanged.
+	Labels map[string]string `json:"labels,omitempty"`
 	// Config records the profiler feature flags the run used; correction
 	// needs to know which book-keeping paths were active.
 	Config FeatureFlags `json:"config"`
