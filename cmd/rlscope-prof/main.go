@@ -14,15 +14,23 @@
 // Repeatable -label k=v flags annotate the trace metadata; fleet queries
 // (rlscope-query, POST /v1/query) filter and group traces by these labels.
 //
+// Every trace records its originating host (os.Hostname() unless -host
+// overrides it); -distributed actors=N instead simulates an actor/learner
+// cluster, writing one trace directory per simulated host plus a
+// manifest.json under -out, ready for rlscope-merge.
+//
 // Frameworks: graph (stable-baselines), autograph (tf-agents),
 // eager-tf (tf-agents eager), eager-pytorch (ReAgent).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/client"
@@ -72,6 +80,8 @@ func main() {
 		instrOff  = flag.Bool("uninstrumented", false, "disable all profiler book-keeping")
 		csv       = flag.Bool("csv", false, "emit the breakdown as CSV instead of a table")
 		validate  = flag.Bool("validate", false, "calibrate, then validate overhead correction on this workload")
+		host      = flag.String("host", "", "originating host recorded in the trace metadata (default: os.Hostname())")
+		distrib   = flag.String("distributed", "", "simulate an actor/learner cluster, e.g. actors=3; writes one trace dir per host plus manifest.json under -out")
 	)
 	flag.Parse()
 
@@ -97,6 +107,15 @@ func main() {
 	if *instrOff {
 		flags = trace.Uninstrumented()
 	}
+	if *distrib != "" {
+		if err := runDistributed(*distrib, *algo, *env, model, *steps, *seed, *out, chunkFormat, flags, labels); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *host == "" {
+		*host, _ = os.Hostname()
+	}
 	spec := workloads.Spec{
 		Algo: *algo, Env: *env, Model: model, TotalSteps: *steps, Seed: *seed,
 	}
@@ -108,6 +127,7 @@ func main() {
 	if len(labels) > 0 {
 		stats.Trace.Meta.Labels = labels
 	}
+	stats.Trace.Meta.Host = *host
 	if *out != "" {
 		w, err := trace.NewWriter(*out, 0, trace.WithFormat(chunkFormat))
 		if err != nil {
@@ -150,6 +170,79 @@ func main() {
 	fmt.Print(report.TransitionTable("Language transitions",
 		report.Transitions(spec.Name(), res, report.SortedOps(res))))
 	fmt.Printf("total training time: %v\n", stats.Total)
+}
+
+// manifest indexes a distributed run's per-host trace directories so
+// rlscope-merge (and scripts) can pick them up without globbing.
+type manifest struct {
+	Workload string         `json:"workload"`
+	Actors   int            `json:"actors"`
+	Steps    int            `json:"steps"`
+	Seed     int64          `json:"seed"`
+	Hosts    []manifestHost `json:"hosts"`
+}
+
+type manifestHost struct {
+	Host   string `json:"host"`
+	Dir    string `json:"dir"` // relative to the manifest's directory
+	Events int    `json:"events"`
+	// SkewNS is the injected ground-truth clock-origin skew. A real
+	// cluster would not know this; it is recorded so experiments can
+	// score rlscope-merge's trace-only offset recovery against truth.
+	SkewNS int64 `json:"skew_ns"`
+}
+
+// runDistributed handles -distributed: simulate the actor/learner cluster
+// and write one trace directory per host plus manifest.json under out.
+func runDistributed(arg, algo, env string, model backend.ExecModel, steps int, seed int64, out string, format trace.Format, flags trace.FeatureFlags, labels map[string]string) error {
+	k, v, ok := strings.Cut(arg, "=")
+	if !ok || k != "actors" {
+		return fmt.Errorf("want -distributed actors=N, got %q", arg)
+	}
+	actors, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("want -distributed actors=N, got %q: %v", arg, err)
+	}
+	if out == "" {
+		return fmt.Errorf("-distributed needs -out: each simulated host writes its own trace directory")
+	}
+	spec := workloads.DistributedSpec{
+		Actors: actors, Algo: algo, Env: env, Model: model,
+		TotalSteps: steps, Seed: seed,
+	}
+	fmt.Fprintf(os.Stderr, "rlscope-prof: running %s (%d steps/actor, %d hosts, %s)\n",
+		spec.Name(), steps, actors+1, flags)
+	runs, err := workloads.RunDistributed(spec, flags)
+	if err != nil {
+		return err
+	}
+	man := manifest{Workload: spec.Name(), Actors: actors, Steps: steps, Seed: seed}
+	for _, r := range runs {
+		if len(labels) > 0 {
+			r.Trace.Meta.Labels = labels
+		}
+		dir := filepath.Join(out, r.Host)
+		w, err := trace.NewWriter(dir, 0, trace.WithFormat(format))
+		if err != nil {
+			return err
+		}
+		w.Append(r.Trace.Events...)
+		if err := w.Close(r.Trace.Meta); err != nil {
+			return err
+		}
+		man.Hosts = append(man.Hosts, manifestHost{
+			Host: r.Host, Dir: r.Host, Events: len(r.Trace.Events), SkewNS: int64(r.Skew),
+		})
+	}
+	buf, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, "manifest.json"), append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rlscope-prof: wrote %d host trace dirs + manifest.json to %s\n", len(runs), out)
+	return nil
 }
 
 func fatal(err error) {

@@ -28,7 +28,7 @@ import (
 // be computed here without an import cycle.
 var MetricExperiments = []string{
 	"table1", "fig3", "fig4", "fig5", "fig7", "fig8",
-	"scaling", "stream", "seedrepro", "sweepscale",
+	"scaling", "stream", "seedrepro", "sweepscale", "multihost",
 }
 
 // Metrics computes the named experiment's metric bundle. The bundle names
@@ -56,6 +56,8 @@ func Metrics(ctx context.Context, experiment string, steps int, seed int64) (map
 		return seedReproMetrics(opts)
 	case "sweepscale":
 		return sweepScaleMetrics(opts)
+	case "multihost":
+		return multihostMetrics(opts)
 	}
 	return nil, fmt.Errorf("experiments: unknown metric experiment %q (have %s)",
 		experiment, strings.Join(MetricExperiments, ","))
@@ -342,12 +344,6 @@ func seedReproMetrics(opts Options) (map[string]float64, error) {
 	c, err := digest(opts.Seed + 1)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: seedrepro: %w", err)
-	}
-	boolMetric := func(v bool) float64 {
-		if v {
-			return 1
-		}
-		return 0
 	}
 	return map[string]float64{
 		"same_seed_identical": boolMetric(a == b),

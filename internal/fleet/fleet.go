@@ -71,11 +71,12 @@ type Compare struct {
 	Baseline map[string]string `json:"baseline"`
 }
 
-// Dimensions usable in Filter and GroupBy: "id", "workload", and
+// Dimensions usable in Filter and GroupBy: "id", "workload", "host", and
 // "label.<key>" for any label key.
 const (
 	DimID       = "id"
 	DimWorkload = "workload"
+	DimHost     = "host"
 	labelPrefix = "label."
 )
 
@@ -87,13 +88,14 @@ const (
 	MetricGPUFrac     = "gpu_frac"    // gpu_ns / total_ns, rounded to 1e-6
 	MetricSpanNS      = "span_ns"     // merged event-span extent
 	MetricTransitions = "transitions" // total language-transition count
+	MetricNetNS       = "net_ns"      // Network-tier CPU time (cross-host wait)
 )
 
 // DefaultMetrics is the metric set an empty Query.Metrics selects.
 var DefaultMetrics = []string{MetricTotalNS, MetricCPUNS, MetricGPUNS, MetricGPUFrac}
 
 // metricOrder fixes the canonical ordering of the metric vocabulary.
-var metricOrder = []string{MetricTotalNS, MetricCPUNS, MetricGPUNS, MetricGPUFrac, MetricSpanNS, MetricTransitions}
+var metricOrder = []string{MetricTotalNS, MetricCPUNS, MetricGPUNS, MetricGPUFrac, MetricSpanNS, MetricTransitions, MetricNetNS}
 
 // QueryError reports an invalid query; servers map it to 400 bad_request.
 type QueryError struct{ msg string }
@@ -106,7 +108,7 @@ func queryErrf(format string, args ...any) *QueryError {
 
 // ValidDimension reports whether dim is a usable filter/group dimension.
 func ValidDimension(dim string) bool {
-	if dim == DimID || dim == DimWorkload {
+	if dim == DimID || dim == DimWorkload || dim == DimHost {
 		return true
 	}
 	return strings.HasPrefix(dim, labelPrefix) && len(dim) > len(labelPrefix)
@@ -121,6 +123,8 @@ func DimensionValue(t Trace, dim string) string {
 		return t.ID
 	case dim == DimWorkload:
 		return t.Meta.Workload
+	case dim == DimHost:
+		return t.Meta.Host
 	case strings.HasPrefix(dim, labelPrefix):
 		return t.Meta.Labels[dim[len(labelPrefix):]]
 	}
@@ -141,7 +145,7 @@ func NewMatcher(filter map[string]string) (*Matcher, error) {
 	m := &Matcher{patterns: make(map[string]string, len(filter))}
 	for dim, pattern := range filter {
 		if !ValidDimension(dim) {
-			return nil, queryErrf("unknown filter dimension %q (want %q, %q, or %q<key>)", dim, DimID, DimWorkload, labelPrefix)
+			return nil, queryErrf("unknown filter dimension %q (want %q, %q, %q, or %q<key>)", dim, DimID, DimWorkload, DimHost, labelPrefix)
 		}
 		if _, err := path.Match(pattern, ""); err != nil {
 			return nil, queryErrf("bad filter pattern %q for %q: %v", pattern, dim, err)
@@ -412,6 +416,8 @@ func metricValue(res *overlap.Result, metric string) float64 {
 			n += c
 		}
 		return float64(n)
+	case MetricNetNS:
+		return float64(int64(res.TotalCategoryCPUTime(trace.CatNetwork)))
 	}
 	return 0
 }

@@ -351,6 +351,7 @@ func TestExecuteGolden(t *testing.T) {
             "python_ns": 900,
             "cuda_ns": 0,
             "backend_ns": 0,
+            "network_ns": 0,
             "gpu_ns": 100
           }
         ]
@@ -393,6 +394,7 @@ func TestExecuteGolden(t *testing.T) {
             "python_ns": 700,
             "cuda_ns": 0,
             "backend_ns": 0,
+            "network_ns": 0,
             "gpu_ns": 300
           }
         ]

@@ -1,0 +1,223 @@
+package multihost
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Alignment failure classes. Both wrap into Merge errors; errors.Is lets
+// callers (and the CLI) distinguish "collect more cross-traffic" from
+// "these traces cannot have come from one run".
+var (
+	// ErrAmbiguous means the send/recv pairs bound the inter-host clock
+	// offsets too loosely (or not at all) to order events across hosts:
+	// one-directional traffic, a host with no message path to the
+	// reference, or bound widths beyond Options.MaxUncertainty.
+	ErrAmbiguous = errors.New("multihost: skew bounds make cross-host ordering ambiguous")
+	// ErrInconsistent means no clock-offset assignment satisfies every
+	// send-before-receive constraint — the traces contradict causality.
+	ErrInconsistent = errors.New("multihost: send/recv constraints are inconsistent")
+)
+
+// Message-id markers the profiler's NetSend/NetRecv embed in Network CPU
+// event names. The shared id after the prefix pairs the two sides.
+const (
+	sendPrefix = "net.send:"
+	recvPrefix = "net.recv:"
+)
+
+// message is one cross-host send/recv pair recovered from the traces.
+// Times are host-local; endpoints index the sorted host list.
+type message struct {
+	id                 string
+	sendHost, recvHost int
+	sendEnd, recvEnd   vclock.Time
+	haveSend, haveRecv bool
+}
+
+// pairBound is the two-sided constraint on δ_a − δ_b for one host pair
+// (a < b), where δ_h is host h's clock offset (local = true + δ_h).
+//
+// Every message a→b was on the wire before it was processed:
+//
+//	sendEnd_a − δ_a ≤ recvEnd_b − δ_b  ⇒  δ_a − δ_b ≥ −(recvEnd_b − sendEnd_a)
+//
+// so a→b traffic caps the offset difference from below and b→a traffic
+// caps it from above — the same two-sided bracketing NTP derives from a
+// request/response exchange, here recovered entirely from the traces.
+type pairBound struct {
+	lo, hi          vclock.Duration
+	haveLo, haveHi  bool
+	nForward, nBack int
+}
+
+type pairKey struct{ a, b int }
+
+// collectMessages scans the sorted host traces for paired net.send/net.recv
+// events. Every id must appear exactly once as a send and once as a recv,
+// on different hosts.
+func collectMessages(hosts []*trace.Trace) (map[string]*message, error) {
+	msgs := map[string]*message{}
+	get := func(id string) *message {
+		m := msgs[id]
+		if m == nil {
+			m = &message{id: id}
+			msgs[id] = m
+		}
+		return m
+	}
+	for hi, t := range hosts {
+		for _, e := range t.Events {
+			if e.Kind != trace.KindCPU || e.Cat != trace.CatNetwork {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(e.Name, sendPrefix):
+				m := get(e.Name[len(sendPrefix):])
+				if m.haveSend {
+					return nil, fmt.Errorf("multihost: message %q sent twice (hosts %q and %q)",
+						m.id, hosts[m.sendHost].Meta.Host, t.Meta.Host)
+				}
+				m.haveSend, m.sendHost, m.sendEnd = true, hi, e.End
+			case strings.HasPrefix(e.Name, recvPrefix):
+				m := get(e.Name[len(recvPrefix):])
+				if m.haveRecv {
+					return nil, fmt.Errorf("multihost: message %q received twice (hosts %q and %q)",
+						m.id, hosts[m.recvHost].Meta.Host, t.Meta.Host)
+				}
+				m.haveRecv, m.recvHost, m.recvEnd = true, hi, e.End
+			}
+		}
+	}
+	for _, m := range msgs {
+		if !m.haveSend || !m.haveRecv {
+			side := "send"
+			if m.haveSend {
+				side = "recv"
+			}
+			return nil, fmt.Errorf("multihost: message %q has no %s event — host dirs from different runs, or an incomplete set", m.id, side)
+		}
+		if m.sendHost == m.recvHost {
+			return nil, fmt.Errorf("multihost: message %q sent and received on the same host %q", m.id, hosts[m.sendHost].Meta.Host)
+		}
+	}
+	return msgs, nil
+}
+
+// estimateOffsets recovers one clock offset per host (local = true + δ̂)
+// from the message set, with the first sorted host as the δ̂=0 reference.
+//
+// Per host pair it intersects the per-message causality constraints into a
+// [lo, hi] bracket on the offset difference, rejects brackets that are
+// one-sided, empty, or wider than 2×maxUncertainty (ordering inside the
+// bracket would be guesswork), then takes the bracket midpoint and composes
+// estimates across the pair graph breadth-first from the reference. A final
+// pass re-checks every message under the composed estimates, which catches
+// cycle inconsistencies midpoint composition can introduce.
+//
+// Midpoints keep every spanning-edge constraint satisfied by construction:
+// mid ∈ [lo, hi], so shifted sends stay ≤ shifted receives in both
+// directions — merged traces are causally ordered, not just approximately
+// aligned.
+func estimateOffsets(hosts []*trace.Trace, msgs map[string]*message, maxUncertainty vclock.Duration) ([]vclock.Duration, error) {
+	n := len(hosts)
+	offsets := make([]vclock.Duration, n)
+	if n == 1 {
+		return offsets, nil
+	}
+
+	bounds := map[pairKey]*pairBound{}
+	pair := func(a, b int) *pairBound {
+		pb := bounds[pairKey{a, b}]
+		if pb == nil {
+			pb = &pairBound{}
+			bounds[pairKey{a, b}] = pb
+		}
+		return pb
+	}
+	for _, m := range msgs {
+		s, r := m.sendHost, m.recvHost
+		d := m.recvEnd.Sub(m.sendEnd) // δ_s − δ_r ≥ −d
+		if s < r {
+			pb := pair(s, r)
+			if !pb.haveLo || -d > pb.lo {
+				pb.haveLo, pb.lo = true, -d
+			}
+			pb.nForward++
+		} else {
+			// δ_s − δ_r ≥ −d with s the higher index: flip to an
+			// upper bound on δ_r(=a) − δ_s(=b).
+			pb := pair(r, s)
+			if !pb.haveHi || d < pb.hi {
+				pb.haveHi, pb.hi = true, d
+			}
+			pb.nBack++
+		}
+	}
+
+	for pk, pb := range bounds {
+		pa, pbn := hosts[pk.a].Meta.Host, hosts[pk.b].Meta.Host
+		if !pb.haveLo || !pb.haveHi {
+			return nil, fmt.Errorf("%w: hosts %q/%q exchanged messages in only one direction (%d forward, %d back)",
+				ErrAmbiguous, pa, pbn, pb.nForward, pb.nBack)
+		}
+		if pb.lo > pb.hi {
+			return nil, fmt.Errorf("%w: hosts %q/%q offset bracket is empty [%v, %v]",
+				ErrInconsistent, pa, pbn, pb.lo, pb.hi)
+		}
+		if width := pb.hi - pb.lo; width > 2*maxUncertainty {
+			return nil, fmt.Errorf("%w: hosts %q/%q offset bracket width %v exceeds 2×%v",
+				ErrAmbiguous, pa, pbn, width, maxUncertainty)
+		}
+	}
+
+	// Compose midpoint estimates breadth-first from the reference host,
+	// visiting neighbors in ascending index so the estimate is a pure
+	// function of the host set, independent of map iteration order.
+	known := make([]bool, n)
+	known[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for b := 0; b < n; b++ {
+			if known[b] || b == a {
+				continue
+			}
+			x, y := a, b
+			if x > y {
+				x, y = y, x
+			}
+			pb := bounds[pairKey{x, y}]
+			if pb == nil {
+				continue
+			}
+			mid := (pb.lo + pb.hi) / 2 // δ_x − δ_y estimate
+			if a == x {
+				offsets[b] = offsets[a] - mid
+			} else {
+				offsets[b] = offsets[a] + mid
+			}
+			known[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for h := 0; h < n; h++ {
+		if !known[h] {
+			return nil, fmt.Errorf("%w: host %q has no message path to reference host %q",
+				ErrAmbiguous, hosts[h].Meta.Host, hosts[0].Meta.Host)
+		}
+	}
+
+	for _, m := range msgs {
+		if m.sendEnd-vclock.Time(offsets[m.sendHost]) > m.recvEnd-vclock.Time(offsets[m.recvHost]) {
+			return nil, fmt.Errorf("%w: message %q would be received before it was sent under the composed offsets",
+				ErrInconsistent, m.id)
+		}
+	}
+	return offsets, nil
+}

@@ -72,6 +72,8 @@ func DefaultOverheads() OverheadModel {
 type Options struct {
 	// Workload labels the run in trace metadata.
 	Workload string
+	// Host names the machine this run records on (trace.Meta.Host).
+	Host string
 	// Flags selects which book-keeping paths are enabled.
 	Flags trace.FeatureFlags
 	// Overheads is the hidden true cost model; zero value uses defaults.
@@ -132,6 +134,7 @@ func (p *Profiler) Trace() (*trace.Trace, error) {
 	t := &trace.Trace{
 		Meta: trace.Meta{
 			Workload: p.opts.Workload,
+			Host:     p.opts.Host,
 			Config:   p.opts.Flags,
 			Procs:    map[trace.ProcID]trace.ProcInfo{},
 		},

@@ -213,6 +213,48 @@ func (s *Session) nativeCall(cat trace.Category, transition, name string, fn fun
 	s.Overhead(trace.OverheadInterception, transition)
 }
 
+// NetSend models transmitting one cross-host message: serialization and
+// socket-write time on the sending CPU, recorded as a Network CPU event
+// named "net.send:<msgID>". The message id must be globally unique and
+// match the receiver's NetRecv id — multihost.Merge pairs the two events
+// by id to estimate inter-host clock offsets. Returns the local
+// send-completion time (the instant the message is on the wire).
+func (s *Session) NetSend(msgID string, cost vclock.Dist) vclock.Time {
+	start := s.clock.Now()
+	s.clock.Spend(cost)
+	end := s.clock.Now()
+	s.Emit(trace.Event{
+		Kind:  trace.KindCPU,
+		Cat:   trace.CatNetwork,
+		Proc:  s.proc,
+		Start: start,
+		End:   end,
+		Name:  "net.send:" + msgID,
+	})
+	return end
+}
+
+// NetRecv models receiving the message msgID: the receiving CPU blocks
+// until the message is available locally (readyAt, on this session's
+// clock), then pays deserialization cost. The whole span — wait plus
+// deserialize — is one Network CPU event named "net.recv:<msgID>", which
+// is exactly the network-wait time the merged breakdown reports.
+func (s *Session) NetRecv(msgID string, readyAt vclock.Time, cost vclock.Dist) {
+	start := s.clock.Now()
+	if readyAt > start {
+		s.clock.AdvanceTo(readyAt)
+	}
+	s.clock.Spend(cost)
+	s.Emit(trace.Event{
+		Kind:  trace.KindCPU,
+		Cat:   trace.CatNetwork,
+		Proc:  s.proc,
+		Start: start,
+		End:   s.clock.Now(),
+		Name:  "net.recv:" + msgID,
+	})
+}
+
 // Close finalizes the session: it closes any open phase and emits the root
 // Python CPU event spanning the process lifetime. The root event makes the
 // overlap analysis attribute all time not spent in native libraries to the

@@ -30,6 +30,7 @@ import (
 // trace content and the analysis options.
 type Analysis struct {
 	Workload  string             `json:"workload"`
+	Host      string             `json:"host,omitempty"`
 	Config    trace.FeatureFlags `json:"config"`
 	Corrected bool               `json:"corrected"`
 	Processes []ProcessJSON      `json:"processes"`
@@ -64,6 +65,7 @@ type OpRowJSON struct {
 	PythonNS    int64  `json:"python_ns"`
 	CUDANS      int64  `json:"cuda_ns"`
 	BackendNS   int64  `json:"backend_ns"`
+	NetworkNS   int64  `json:"network_ns"`
 	GPUNS       int64  `json:"gpu_ns"`
 }
 
@@ -115,6 +117,7 @@ func BreakdownToJSON(b *Breakdown) BreakdownJSON {
 			PythonNS:    int64(b.Cells[CellKey{op, trace.CatPython}]),
 			CUDANS:      int64(b.Cells[CellKey{op, trace.CatCUDA}]),
 			BackendNS:   int64(b.Cells[CellKey{op, trace.CatBackend}]),
+			NetworkNS:   int64(b.Cells[CellKey{op, trace.CatNetwork}]),
 			GPUNS:       int64(b.GPUTime[op]),
 		})
 	}
@@ -158,6 +161,7 @@ func NewResultAnalysis(meta trace.Meta, results map[trace.ProcID]*overlap.Result
 	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
 	a := &Analysis{
 		Workload:  meta.Workload,
+		Host:      meta.Host,
 		Config:    meta.Config,
 		Corrected: corrected,
 		Processes: make([]ProcessJSON, 0, len(procs)),

@@ -13,9 +13,11 @@ import (
 	"repro/internal/vclock"
 )
 
-// CPUCategories are the CPU tiers in the paper's legend order.
+// CPUCategories are the CPU tiers in the paper's legend order, extended
+// with the Network tier distributed (multi-host) traces add.
 var CPUCategories = []trace.Category{
 	trace.CatSimulator, trace.CatPython, trace.CatCUDA, trace.CatBackend,
+	trace.CatNetwork,
 }
 
 // Breakdown is one workload's time breakdown: the data behind one bar group
@@ -97,7 +99,7 @@ func Table(title string, rows []*Breakdown) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== %s ==\n", title)
 	w := tabWriter(&sb)
-	fmt.Fprintf(w, "workload\toperation\ttotal\tSimulator\tPython\tCUDA\tBackend\tGPU\tGPU%%\n")
+	fmt.Fprintf(w, "workload\toperation\ttotal\tSimulator\tPython\tCUDA\tBackend\tNetwork\tGPU\tGPU%%\n")
 	for _, b := range rows {
 		for _, op := range b.Ops {
 			opTotal := b.OpTotal(op)
@@ -105,16 +107,17 @@ func Table(title string, rows []*Breakdown) string {
 				continue
 			}
 			gpu := b.GPUTime[op]
-			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.1f%%\n",
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.1f%%\n",
 				b.Label, op, fmtDur(opTotal),
 				fmtDur(b.Cells[CellKey{op, trace.CatSimulator}]),
 				fmtDur(b.Cells[CellKey{op, trace.CatPython}]),
 				fmtDur(b.Cells[CellKey{op, trace.CatCUDA}]),
 				fmtDur(b.Cells[CellKey{op, trace.CatBackend}]),
+				fmtDur(b.Cells[CellKey{op, trace.CatNetwork}]),
 				fmtDur(gpu),
 				pct(gpu, opTotal))
 		}
-		fmt.Fprintf(w, "%s\t(total)\t%s\t\t\t\t\t%s\t%.1f%%\n",
+		fmt.Fprintf(w, "%s\t(total)\t%s\t\t\t\t\t\t%s\t%.1f%%\n",
 			b.Label, fmtDur(b.Total), fmtDur(b.TotalGPU()), pct(b.TotalGPU(), b.Total))
 	}
 	w.flush()
@@ -124,16 +127,17 @@ func Table(title string, rows []*Breakdown) string {
 // CSV renders the same data as comma-separated values with a header.
 func CSV(rows []*Breakdown) string {
 	var sb strings.Builder
-	sb.WriteString("workload,operation,total_sec,simulator_sec,python_sec,cuda_sec,backend_sec,gpu_sec\n")
+	sb.WriteString("workload,operation,total_sec,simulator_sec,python_sec,cuda_sec,backend_sec,network_sec,gpu_sec\n")
 	for _, b := range rows {
 		for _, op := range b.Ops {
-			fmt.Fprintf(&sb, "%s,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			fmt.Fprintf(&sb, "%s,%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
 				csvEscape(b.Label), csvEscape(op),
 				b.OpTotal(op).Seconds(),
 				b.Cells[CellKey{op, trace.CatSimulator}].Seconds(),
 				b.Cells[CellKey{op, trace.CatPython}].Seconds(),
 				b.Cells[CellKey{op, trace.CatCUDA}].Seconds(),
 				b.Cells[CellKey{op, trace.CatBackend}].Seconds(),
+				b.Cells[CellKey{op, trace.CatNetwork}].Seconds(),
 				b.GPUTime[op].Seconds())
 		}
 	}
@@ -265,7 +269,7 @@ func PhaseTable(title string, phases map[trace.ProcID][]overlap.PhaseBreakdown, 
 
 // SortedOps returns the standard operation display order when present.
 func SortedOps(res *overlap.Result) []string {
-	order := map[string]int{"backpropagation": 0, "inference": 1, "simulation": 2}
+	order := map[string]int{"backpropagation": 0, "inference": 1, "simulation": 2, "communication": 3}
 	ops := res.OpNames()
 	sort.Slice(ops, func(i, j int) bool {
 		oi, iok := order[ops[i]]

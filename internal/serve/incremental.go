@@ -543,6 +543,7 @@ func (lt *liveTrace) liveInfo() TraceInfo {
 	}
 	lt.amu.Lock()
 	info.Workload = lt.meta.Workload
+	info.Host = lt.meta.Host
 	info.Labels = lt.meta.Labels
 	lt.amu.Unlock()
 	return info

@@ -388,7 +388,9 @@ func TestLiveListingAndSummary(t *testing.T) {
 		t.Fatalf("live summary events=%d state=%q, want %d/%q", sum.Events, sum.State, len(tr.Events), StateOpen)
 	}
 
-	// Sealing flips the state everywhere.
+	// Sealing flips the state everywhere, and the sealed metadata's
+	// originating host surfaces in the listing for fleet host filters.
+	meta.Host = "gpu-node-3"
 	metaBody, _ := json.Marshal(meta)
 	if rec := doReq(t, h, "POST", "/v1/traces/live1/seal", string(metaBody)); rec.Code != http.StatusOK {
 		t.Fatalf("seal: %d %s", rec.Code, rec.Body)
@@ -397,7 +399,7 @@ func TestLiveListingAndSummary(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
 		t.Fatal(err)
 	}
-	if got := listing.Traces[0]; got.State != StateSealed || got.Workload != "quickstart" {
+	if got := listing.Traces[0]; got.State != StateSealed || got.Workload != "quickstart" || got.Host != "gpu-node-3" {
 		t.Fatalf("sealed listing %+v", got)
 	}
 }

@@ -117,6 +117,9 @@ type TraceInfo struct {
 	ID       string `json:"id"`
 	Digest   string `json:"digest"`
 	Workload string `json:"workload"`
+	// Host is the originating machine (trace.Meta.Host) — the fleet
+	// `host` dimension.
+	Host string `json:"host,omitempty"`
 	// Labels are the trace's free-form metadata annotations
 	// (rlscope-prof -label k=v) — the dimensions fleet queries filter
 	// and group by.
@@ -259,6 +262,7 @@ func newTraceEntry(id, dir string) (*traceEntry, error) {
 	summary.ID = id
 	summary.Digest = digest
 	summary.Workload = meta.Workload
+	summary.Host = meta.Host
 	summary.Labels = meta.Labels
 	summary.State = StateSealed
 	return &traceEntry{id: id, info: summary.TraceInfo, dir: dir, meta: meta, summary: summary}, nil
@@ -412,7 +416,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	// its trace's own ingest lock, which an in-flight append may hold.
 	for _, lt := range lives {
 		info := lt.liveInfo()
-		if matcher == nil || matcher.Match(fleet.Trace{ID: info.ID, Meta: trace.Meta{Workload: info.Workload, Labels: info.Labels}}) {
+		if matcher == nil || matcher.Match(fleet.Trace{ID: info.ID, Meta: trace.Meta{Workload: info.Workload, Host: info.Host, Labels: info.Labels}}) {
 			infos = append(infos, info)
 		}
 	}

@@ -134,3 +134,33 @@ func TestConvertDirDetectsTamper(t *testing.T) {
 		t.Fatal("verification passed despite a digest-visible extra file in src")
 	}
 }
+
+// TestConvertDirPreservesHostMeta: the originating host recorded at
+// profiling time survives a format conversion — multihost.Merge depends on
+// converted per-host dirs still naming their hosts.
+func TestConvertDirPreservesHostMeta(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "v1")
+	w, err := NewWriter(src, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(workloadishEvents(rand.New(rand.NewSource(5)), 500)...)
+	meta := Meta{Workload: "host-meta", Host: "actor07", Labels: map[string]string{"algo": "ddpg"}}
+	if err := w.Close(meta); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "v2")
+	if _, err := ConvertDir(src, dst, FormatV2, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDir(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta.Host != "actor07" {
+		t.Fatalf("converted Meta.Host = %q, want %q", back.Meta.Host, "actor07")
+	}
+	if back.Meta.Labels["algo"] != "ddpg" {
+		t.Fatalf("converted labels dropped: %v", back.Meta.Labels)
+	}
+}

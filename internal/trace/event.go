@@ -91,6 +91,12 @@ const (
 	CatGPUKernel
 	// CatGPUMemcpy is device time executing a memory copy.
 	CatGPUMemcpy
+	// CatNetwork is CPU time spent in cross-host communication: the
+	// sender serializing and writing a message, or the receiver blocked
+	// waiting for and deserializing one. Distributed actor/learner
+	// workloads emit these around every send/recv so network-wait shows
+	// up as a first-class resource next to CPU and GPU time.
+	CatNetwork
 )
 
 // String returns the display name used in reports, matching the paper's
@@ -111,6 +117,8 @@ func (c Category) String() string {
 		return "GPU kernel"
 	case CatGPUMemcpy:
 		return "GPU memcpy"
+	case CatNetwork:
+		return "Network"
 	default:
 		return fmt.Sprintf("Category(%d)", uint8(c))
 	}
@@ -119,7 +127,7 @@ func (c Category) String() string {
 // IsCPU reports whether the category is a CPU-side tier.
 func (c Category) IsCPU() bool {
 	switch c {
-	case CatPython, CatSimulator, CatBackend, CatCUDA:
+	case CatPython, CatSimulator, CatBackend, CatCUDA, CatNetwork:
 		return true
 	}
 	return false
@@ -136,7 +144,7 @@ func (c Category) CPURank() int {
 	switch c {
 	case CatPython:
 		return 1
-	case CatSimulator, CatBackend:
+	case CatSimulator, CatBackend, CatNetwork:
 		return 2
 	case CatCUDA:
 		return 3

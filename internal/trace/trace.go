@@ -21,6 +21,12 @@ type Trace struct {
 type Meta struct {
 	// Workload is a human-readable workload label, e.g. "td3-walker2d".
 	Workload string `json:"workload"`
+	// Host names the machine the trace was recorded on. rlscope-prof sets
+	// it automatically (os.Hostname() unless -host overrides); distributed
+	// runs give each simulated host its own name ("learner", "actor00").
+	// multihost.Merge requires it and fleet queries expose it as the
+	// `host` dimension. Empty on traces recorded before hosts existed.
+	Host string `json:"host,omitempty"`
 	// Labels are free-form key/value annotations attached at profiling
 	// time (rlscope-prof -label k=v): algorithm, framework, simulator,
 	// experiment id — whatever a fleet of runs later wants to filter and
